@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the simulator's core primitives: per-layer cost
+//! queries, full-graph costing, schedule evaluation and the DES engine.
+//! These bound the cost of the schedulers' inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_dnn::models::attention::{fusion_block, FusionConfig};
+use npu_dnn::models::{fe_bfpn, BifpnConfig, FeConfig};
+use npu_dnn::{Layer, OpKind, PerceptionConfig};
+use npu_maestro::{graph_cost, Accelerator, CostModel, FittedMaestro};
+use npu_mcm::McmPackage;
+use npu_pipesim::{simulate, SimConfig};
+use npu_sched::{evaluate, MatcherConfig, ThroughputMatcher};
+use npu_tensor::Dtype;
+
+fn bench(c: &mut Criterion) {
+    let model = FittedMaestro::new();
+    let os = Accelerator::shidiannao_like(256);
+
+    let qkv = Layer::intrinsic(
+        "qkv",
+        OpKind::Dense {
+            tokens: 12_800,
+            in_features: 256,
+            out_features: 768,
+        },
+    );
+    c.bench_function("layer_cost_dense", |b| {
+        b.iter(|| model.layer_cost(&qkv, &os))
+    });
+
+    let fe = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+    c.bench_function("graph_cost_fe_bfpn_60_layers", |b| {
+        b.iter(|| graph_cost(&model, &fe, &os))
+    });
+
+    let s_fuse = fusion_block(&FusionConfig::spatial_default());
+    c.bench_function("graph_cost_fusion", |b| {
+        b.iter(|| graph_cost(&model, &s_fuse, &os))
+    });
+
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let outcome =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+
+    c.bench_function("evaluate_matched_schedule", |b| {
+        b.iter(|| evaluate(&outcome.schedule, &pkg, &model, Dtype::Fp16))
+    });
+
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.bench_function("simulate_8_frames", |b| {
+        b.iter(|| simulate(&outcome.schedule, &pkg, &model, &SimConfig::saturated(8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

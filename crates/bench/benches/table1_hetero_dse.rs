@@ -1,0 +1,15 @@
+//! Regenerates the paper's table1 and benchmarks the regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once, then measure its cost.
+    println!("{}", npu_experiments::table1::run());
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(npu_experiments::table1::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

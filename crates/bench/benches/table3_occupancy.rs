@@ -1,0 +1,15 @@
+//! Regenerates the paper's table3 and benchmarks the regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once, then measure its cost.
+    println!("{}", npu_experiments::table3::run());
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(20);
+    g.bench_function("table3", |b| b.iter(npu_experiments::table3::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! `repro` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! repro            # everything
+//! repro fig3       # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
+//!                  # fig9, fig10, fig11, table1, table2, table3)
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let json = args.first().map(|a| a == "--json").unwrap_or(false);
+    if json {
+        args.remove(0);
+    }
+    if args.is_empty() {
+        print!("{}", npu_experiments::run_all());
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        let mut ok = true;
+        for arg in &args {
+            let rendered = match arg.as_str() {
+                "fig3" => serde_json::to_string_pretty(&npu_experiments::fig3::run()),
+                "fig4" => serde_json::to_string_pretty(&npu_experiments::fig4::run()),
+                "fig5" | "fig6" | "fig7" | "fig8" | "fig5to8" => {
+                    serde_json::to_string_pretty(&npu_experiments::fig5to8::run())
+                }
+                "fig9" => serde_json::to_string_pretty(&npu_experiments::fig9::run()),
+                "fig10" => serde_json::to_string_pretty(&npu_experiments::fig10::run()),
+                "fig11" => serde_json::to_string_pretty(&npu_experiments::fig11::run()),
+                "table1" => serde_json::to_string_pretty(&npu_experiments::table1::run()),
+                "table2" => serde_json::to_string_pretty(&npu_experiments::table2::run()),
+                "table3" => serde_json::to_string_pretty(&npu_experiments::table3::run()),
+                "ablations" => serde_json::to_string_pretty(&npu_experiments::ablations::run()),
+                "sweeps" => serde_json::to_string_pretty(&npu_experiments::ext_sweeps::run()),
+                other => {
+                    eprintln!("unknown artifact `{other}` for --json");
+                    ok = false;
+                    continue;
+                }
+            };
+            println!("{}", rendered.expect("experiment results serialize"));
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut ok = true;
+    for arg in &args {
+        match arg.as_str() {
+            "fig3" => print!("{}", npu_experiments::fig3::run()),
+            "fig4" => print!("{}", npu_experiments::fig4::run()),
+            "fig5" | "fig6" | "fig7" | "fig8" | "fig5to8" => {
+                print!("{}", npu_experiments::fig5to8::run())
+            }
+            "fig9" => print!("{}", npu_experiments::fig9::run()),
+            "fig10" => print!("{}", npu_experiments::fig10::run()),
+            "fig11" => print!("{}", npu_experiments::fig11::run()),
+            "table1" => print!("{}", npu_experiments::table1::run()),
+            "table2" => print!("{}", npu_experiments::table2::run()),
+            "table3" => print!("{}", npu_experiments::table3::run()),
+            "ablations" => print!("{}", npu_experiments::ablations::run()),
+            "sweeps" => print!("{}", npu_experiments::ext_sweeps::run()),
+            "all" => print!("{}", npu_experiments::run_all()),
+            other => {
+                eprintln!(
+                    "unknown artifact `{other}`; expected fig3, fig4, fig5to8, fig9, \
+                     fig10, fig11, table1, table2, table3, ablations, sweeps or all"
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

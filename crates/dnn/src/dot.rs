@@ -1,0 +1,71 @@
+//! Graphviz DOT export for model graphs.
+//!
+//! Useful for inspecting zoo models and documenting schedules; the output
+//! renders with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::op::OpClass;
+
+/// Renders the graph in Graphviz DOT syntax, layers colored by op class.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fontname=\"monospace\"];"
+    );
+    for (id, layer) in graph.iter() {
+        let color = match layer.class() {
+            OpClass::Conv => "#a6cee3",
+            OpClass::Deconv => "#1f78b4",
+            OpClass::Linear => "#b2df8a",
+            OpClass::Attention => "#33a02c",
+            OpClass::Memory => "#eeeeee",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\\n{} -> {}\", fillcolor=\"{}\"];",
+            id.index(),
+            layer.name(),
+            layer.op(),
+            layer.macs(),
+            layer.out(),
+            color
+        );
+    }
+    for (id, _) in graph.iter() {
+        for &succ in graph.succs(id) {
+            let _ = writeln!(out, "  n{} -> n{};", id.index(), succ.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::attention::{fusion_block, FusionConfig};
+
+    #[test]
+    fn dot_contains_every_layer_and_edge() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        for (_, l) in g.iter() {
+            assert!(dot.contains(l.name()), "{} missing", l.name());
+        }
+        // A 5-layer chain has 4 edges.
+        assert_eq!(dot.matches(" -> n").count(), 4);
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let g = fusion_block(&FusionConfig::temporal_default());
+        assert_eq!(to_dot(&g), to_dot(&g));
+    }
+}

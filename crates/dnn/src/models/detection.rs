@@ -1,0 +1,154 @@
+//! Object-detection heads (traffic light / vehicle / pedestrian).
+//!
+//! Per the paper (§II-B Stage 4): "Each detector head entails separate
+//! class and box prediction networks using a sequence of 3 convolution
+//! layers and fully connected layer."
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::TensorShape;
+
+use crate::graph::{Graph, LayerId};
+use crate::layer::Layer;
+use crate::op::OpKind;
+
+/// Detection head configuration.
+///
+/// # Examples
+///
+/// ```
+/// use npu_dnn::models::DetectionConfig;
+/// let cfg = DetectionConfig::default();
+/// assert_eq!(cfg.conv_ch, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionConfig {
+    /// Input BEV grid (from T_FUSE).
+    pub in_grid: (u64, u64),
+    /// Input channels.
+    pub in_ch: u64,
+    /// Detector working grid after pooling.
+    pub det_grid: (u64, u64),
+    /// Convolution width of the class/box nets.
+    pub conv_ch: u64,
+    /// Classes predicted by the class net.
+    pub classes: u64,
+    /// Anchors per cell.
+    pub anchors: u64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            in_grid: (20, 80),
+            in_ch: 304,
+            det_grid: (10, 40),
+            conv_ch: 64,
+            classes: 10,
+            anchors: 2,
+        }
+    }
+}
+
+/// Builds one detector head (e.g. `det.vehicle`): shared pool, then class
+/// and box prediction nets of 3 convs + FC each.
+pub fn detection_head(name: &str, cfg: &DetectionConfig) -> Graph {
+    let mut g = Graph::new(name.to_string());
+    let (h, w) = cfg.det_grid;
+    let pool = g
+        .add(
+            Layer::new(
+                format!("{name}.pool"),
+                OpKind::Pool { kernel: 2 },
+                TensorShape::nchw(1, cfg.in_ch, h, w),
+            ),
+            &[],
+        )
+        .expect("first layer");
+
+    let tokens = h * w;
+    let class_out = cfg.anchors * cfg.classes;
+    let box_out = cfg.anchors * 4;
+    append_pred_net(&mut g, &format!("{name}.cls"), pool, cfg, class_out);
+    append_pred_net(&mut g, &format!("{name}.box"), pool, cfg, box_out);
+    debug_assert_eq!(tokens, h * w);
+    g
+}
+
+/// One prediction net: 3 convs + FC head.
+fn append_pred_net(
+    g: &mut Graph,
+    prefix: &str,
+    input: LayerId,
+    cfg: &DetectionConfig,
+    out_features: u64,
+) {
+    let (h, w) = cfg.det_grid;
+    let mut cur = input;
+    let mut in_ch = cfg.in_ch;
+    for i in 0..3 {
+        cur = g
+            .add(
+                Layer::new(
+                    format!("{prefix}.conv{}", i + 1),
+                    OpKind::Conv2d {
+                        in_ch,
+                        out_ch: cfg.conv_ch,
+                        kernel: (3, 3),
+                        stride: 1,
+                    },
+                    TensorShape::nchw(1, cfg.conv_ch, h, w),
+                ),
+                &[cur],
+            )
+            .expect("cur exists");
+        in_ch = cfg.conv_ch;
+    }
+    g.add(
+        Layer::intrinsic(
+            format!("{prefix}.fc"),
+            OpKind::Dense {
+                tokens: h * w,
+                in_features: cfg.conv_ch,
+                out_features,
+            },
+        ),
+        &[cur],
+    )
+    .expect("cur exists");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpClass;
+
+    #[test]
+    fn head_structure() {
+        let g = detection_head("det.vehicle", &DetectionConfig::default());
+        // pool + 2 nets x (3 convs + fc) = 9 layers.
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.sinks().len(), 2); // class + box outputs
+    }
+
+    #[test]
+    fn macs_are_small_relative_to_other_trunks() {
+        let g = detection_head("det.vehicle", &DetectionConfig::default());
+        let gmacs = g.total_macs().as_gmacs();
+        // Calibrated: ~0.2 GMAC per head so that Het(2)'s DET-only WS
+        // migration saves ~1% of trunk energy as in Table I.
+        assert!((0.1..0.4).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn heads_are_conv_dominated() {
+        let g = detection_head("det.ped", &DetectionConfig::default());
+        let conv_macs: f64 = g
+            .iter()
+            .filter(|(_, l)| l.class() == OpClass::Conv)
+            .map(|(_, l)| l.macs().as_f64())
+            .sum();
+        let share = conv_macs / g.total_macs().as_f64();
+        assert!(share > 0.9, "detection heads should be conv-bound: {share}");
+    }
+}

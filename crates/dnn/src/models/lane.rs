@@ -1,0 +1,272 @@
+//! Lane-prediction trunk with context-aware computing.
+//!
+//! Per the paper (§II-B Stage 4), lane prediction combines self-attention
+//! and cross-attention repeated over 3 levels with 3 classifier predictors.
+//! §V-C/Fig. 11: Tesla's deployment is *context aware* — cross-attention
+//! context (BEV grid regions) is only processed for relevant regions; the
+//! fraction processed scales compute nearly linearly, and ≈60% retained
+//! context meets the 82 ms pipeline constraint.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::layer::Layer;
+use crate::op::OpKind;
+
+/// Lane trunk configuration.
+///
+/// # Examples
+///
+/// ```
+/// use npu_dnn::models::LaneConfig;
+/// let cfg = LaneConfig::default();
+/// assert_eq!(cfg.levels, 3);
+/// assert!((cfg.context_fraction - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneConfig {
+    /// Lane query tokens.
+    pub queries: u64,
+    /// Lane head feature dimension.
+    pub d: u64,
+    /// Grid context tokens at 100% retention (BEV grid cells).
+    pub context_tokens: u64,
+    /// Grid feature dimension (input to the K/V projections).
+    pub context_dim: u64,
+    /// Cross-attention key window per query at 100% retention.
+    pub context_window: u64,
+    /// Self-attention key window.
+    pub self_window: u64,
+    /// Number of decoder levels (each with a classifier predictor).
+    pub levels: u64,
+    /// Fraction of grid context processed (Fig. 11 sweeps 1.0 → 0.1).
+    pub context_fraction: f64,
+}
+
+impl Default for LaneConfig {
+    /// Calibrated so the full-context trunk is ≈120-130 ms on one 256-PE
+    /// OS chiplet and the 82 ms constraint is met near 60% retention.
+    fn default() -> Self {
+        LaneConfig {
+            queries: 800,
+            d: 112,
+            context_tokens: 200 * 80,
+            context_dim: 304,
+            context_window: 512,
+            self_window: 32,
+            levels: 3,
+            context_fraction: 1.0,
+        }
+    }
+}
+
+impl LaneConfig {
+    /// Returns a copy with the given context fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not within `(0, 1]`.
+    pub fn with_context_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "context fraction must be in (0, 1]");
+        self.context_fraction = f;
+        self
+    }
+
+    /// Effective context tokens at the configured retention.
+    pub fn effective_context_tokens(&self) -> u64 {
+        ((self.context_tokens as f64 * self.context_fraction).round() as u64).max(1)
+    }
+
+    /// Effective cross-attention window at the configured retention.
+    pub fn effective_window(&self) -> u64 {
+        ((self.context_window as f64 * self.context_fraction).round() as u64).max(1)
+    }
+}
+
+/// Builds the lane trunk: `levels` × (context K/V projection, self
+/// attention, cross attention, FFN, classifier).
+pub fn lane_trunk(cfg: &LaneConfig) -> Graph {
+    let mut g = Graph::new("lane");
+    let ctx_tokens = cfg.effective_context_tokens();
+    let window = cfg.effective_window();
+    // The decoder chain runs level-to-level through the FFN output; the
+    // per-level classifiers are side outputs.
+    let mut prev_ffn = None;
+
+    for lvl in 0..cfg.levels {
+        let base = format!("lane.l{}", lvl + 1);
+        let chain: Vec<_> = prev_ffn.into_iter().collect();
+
+        // Project retained grid context to K/V at the lane dimension: the
+        // context-dependent (dominant) cost. Each level re-projects the
+        // BEV grid, so this is a graph source (runs concurrently with the
+        // decoder chain).
+        let kv = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.ctx_kv"),
+                    OpKind::Dense {
+                        tokens: ctx_tokens,
+                        in_features: cfg.context_dim,
+                        out_features: 2 * cfg.d,
+                    },
+                ),
+                &[],
+            )
+            .expect("sources always insert");
+
+        // Query self-attention over the previous level's queries.
+        let self_qkv = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.self_qkv"),
+                    OpKind::Dense {
+                        tokens: cfg.queries,
+                        in_features: cfg.d,
+                        out_features: 3 * cfg.d,
+                    },
+                ),
+                &chain,
+            )
+            .expect("preds exist");
+        let self_score = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.self.score"),
+                    OpKind::AttentionScore {
+                        queries: cfg.queries,
+                        window: cfg.self_window,
+                        dim: cfg.d,
+                    },
+                ),
+                &[self_qkv],
+            )
+            .expect("qkv exists");
+        let self_ctx = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.self.ctx"),
+                    OpKind::AttentionContext {
+                        queries: cfg.queries,
+                        window: cfg.self_window,
+                        dim: cfg.d,
+                    },
+                ),
+                &[self_score],
+            )
+            .expect("score exists");
+
+        // Cross attention over retained context.
+        let cross_score = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.cross.score"),
+                    OpKind::AttentionScore {
+                        queries: cfg.queries,
+                        window,
+                        dim: cfg.d,
+                    },
+                ),
+                &[self_ctx, kv],
+            )
+            .expect("preds exist");
+        let cross_ctx = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.cross.ctx"),
+                    OpKind::AttentionContext {
+                        queries: cfg.queries,
+                        window,
+                        dim: cfg.d,
+                    },
+                ),
+                &[cross_score],
+            )
+            .expect("score exists");
+
+        let ffn = g
+            .add(
+                Layer::intrinsic(
+                    format!("{base}.ffn"),
+                    OpKind::Ffn {
+                        tokens: cfg.queries,
+                        d_model: cfg.d,
+                        hidden: 4 * cfg.d,
+                    },
+                ),
+                &[cross_ctx],
+            )
+            .expect("ctx exists");
+
+        // Per-level classifier predictor (3 levels of point predictions):
+        // a side output off the decoder chain.
+        g.add(
+            Layer::intrinsic(
+                format!("{base}.classifier"),
+                OpKind::Dense {
+                    tokens: cfg.queries,
+                    in_features: cfg.d,
+                    out_features: 16,
+                },
+            ),
+            &[ffn],
+        )
+        .expect("ffn exists");
+        prev_ffn = Some(ffn);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_context_macs_calibrated() {
+        let g = lane_trunk(&LaneConfig::default());
+        let gmacs = g.total_macs().as_gmacs();
+        // ~3.9 GMAC -> ~122 ms at the 32 GMAC/s linear rate.
+        assert!((3.0..4.8).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn context_fraction_scales_dominant_cost() {
+        let full = lane_trunk(&LaneConfig::default()).total_macs().as_f64();
+        let half = lane_trunk(&LaneConfig::default().with_context_fraction(0.5))
+            .total_macs()
+            .as_f64();
+        let ratio = half / full;
+        assert!(
+            (0.5..0.62).contains(&ratio),
+            "halving context should roughly halve cost, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn has_three_classifiers() {
+        let g = lane_trunk(&LaneConfig::default());
+        let n = g
+            .iter()
+            .filter(|(_, l)| l.name().ends_with(".classifier"))
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "context fraction")]
+    fn zero_fraction_rejected() {
+        let _ = LaneConfig::default().with_context_fraction(0.0);
+    }
+
+    proptest! {
+        /// MACs are monotone in the retained-context fraction.
+        #[test]
+        fn macs_monotone_in_fraction(a in 0.05f64..1.0, b in 0.05f64..1.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let g_lo = lane_trunk(&LaneConfig::default().with_context_fraction(lo));
+            let g_hi = lane_trunk(&LaneConfig::default().with_context_fraction(hi));
+            prop_assert!(g_lo.total_macs() <= g_hi.total_macs());
+        }
+    }
+}

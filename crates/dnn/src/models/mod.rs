@@ -1,0 +1,105 @@
+//! Builders for the networks of the Tesla Autopilot perception pipeline.
+//!
+//! Every builder returns a [`crate::Graph`] (or appends to one) whose layer
+//! shapes follow the dimensions published in the paper: multiscale features
+//! `90×160×256 / 45×80×512 / 23×40×1024 / 12×20×2048` (which imply a
+//! 360×640 input with strides 4/8/16/32), a 20×80 per-camera token grid, a
+//! 200×80 BEV attention grid, and a 12-entry temporal queue.
+
+pub mod attention;
+pub mod bifpn;
+pub mod detection;
+pub mod lane;
+pub mod occupancy;
+pub mod resnet;
+
+pub use attention::{fusion_block, FusionConfig};
+pub use bifpn::{append_bifpn, BifpnConfig};
+pub use detection::{detection_head, DetectionConfig};
+pub use lane::{lane_trunk, LaneConfig};
+pub use occupancy::{occupancy_trunk, OccupancyConfig};
+pub use resnet::{append_backbone, FeConfig};
+
+use crate::graph::Graph;
+use crate::layer::Layer;
+use crate::op::OpKind;
+use npu_tensor::TensorShape;
+
+/// Ceiling division helper used for strided output extents.
+pub(crate) fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Builds the complete per-camera FE+BFPN feature pipeline: ResNet-18-depth
+/// bottleneck backbone, BiFPN neck, and a fusion head producing the
+/// 20×80×`out_ch` camera feature the paper's Stage-1 emits.
+///
+/// # Examples
+///
+/// ```
+/// use npu_dnn::models::{fe_bfpn, FeConfig, BifpnConfig};
+///
+/// let g = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+/// // The backbone taps match the paper's published feature sizes.
+/// let p2 = g.layer(g.find("fe.s1.b1.out").unwrap()).out();
+/// assert_eq!((p2.h(), p2.w(), p2.c()), (90, 160, 256));
+/// ```
+pub fn fe_bfpn(fe: &FeConfig, neck: &BifpnConfig) -> Graph {
+    let mut g = Graph::new("fe_bfpn");
+    let taps = resnet::append_backbone(&mut g, "fe", fe);
+    let outs = bifpn::append_bifpn(&mut g, "bfpn", &taps, neck);
+
+    // Fusion head: resample the finest BiFPN output to the camera token
+    // grid and project to the stage-output channel count.
+    let grid = neck.out_grid;
+    let resampled = g
+        .add(
+            Layer::new(
+                "head.resample",
+                OpKind::Resample,
+                TensorShape::nchw(1, neck.ch, grid.0, grid.1),
+            ),
+            &[outs[0]],
+        )
+        .expect("preds exist");
+    g.add(
+        Layer::new(
+            "head.proj",
+            OpKind::Conv2d {
+                in_ch: neck.ch,
+                out_ch: neck.out_ch,
+                kernel: (3, 3),
+                stride: 1,
+            },
+            TensorShape::nchw(1, neck.out_ch, grid.0, grid.1),
+        ),
+        &[resampled],
+    )
+    .expect("preds exist");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fe_bfpn_total_macs_in_calibrated_band() {
+        let g = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+        let gmacs = g.total_macs().as_gmacs();
+        // Calibrated to land the paper's 82.7 ms on a 256-PE OS chiplet:
+        // roughly 38-45 GMAC of conv work.
+        assert!(
+            (25.0..50.0).contains(&gmacs),
+            "FE+BFPN should be tens of GMACs, got {gmacs:.1}"
+        );
+    }
+
+    #[test]
+    fn fe_bfpn_ends_at_camera_grid() {
+        let g = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+        let sink = *g.sinks().last().unwrap();
+        let out = g.layer(sink).out();
+        assert_eq!((out.h(), out.w(), out.c()), (20, 80, 256));
+    }
+}

@@ -1,0 +1,181 @@
+//! Occupancy network trunk: spatial deconvolution upsampling tower.
+//!
+//! Per the paper (§II-B Stage 4), the occupancy trunk predicts continuous
+//! occupancy probability and semantics through "4 spatial deconvolution
+//! layers with 16× upscaling". Table III ablates 1–4 levels (2×…16×).
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::TensorShape;
+
+use crate::graph::Graph;
+use crate::layer::Layer;
+use crate::op::OpKind;
+
+/// Occupancy trunk configuration.
+///
+/// # Examples
+///
+/// ```
+/// use npu_dnn::models::OccupancyConfig;
+/// let cfg = OccupancyConfig::default();
+/// assert_eq!(cfg.levels, 4);
+/// assert_eq!(cfg.upscale_factor(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyConfig {
+    /// Input BEV grid (from T_FUSE).
+    pub in_grid: (u64, u64),
+    /// Input channels (T_FUSE model dim).
+    pub in_ch: u64,
+    /// Deconvolution tower width.
+    pub ch: u64,
+    /// Number of 2× deconvolution levels (1–4; Table III sweeps this).
+    pub levels: u64,
+    /// Output channels: occupancy probability + semantic classes.
+    pub out_classes: u64,
+}
+
+impl Default for OccupancyConfig {
+    fn default() -> Self {
+        OccupancyConfig {
+            in_grid: (20, 80),
+            in_ch: 304,
+            ch: 128,
+            levels: 4,
+            out_classes: 17,
+        }
+    }
+}
+
+impl OccupancyConfig {
+    /// Returns a copy with a different level count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 (a tower needs at least one level).
+    pub fn with_levels(mut self, levels: u64) -> Self {
+        assert!(levels >= 1, "occupancy tower needs at least one level");
+        self.levels = levels;
+        self
+    }
+
+    /// Total spatial upscaling factor (`2^levels`).
+    pub fn upscale_factor(&self) -> u64 {
+        1 << self.levels
+    }
+}
+
+/// Builds the occupancy trunk: 1×1 input projection, `levels` 2×
+/// deconvolutions, 1×1 prediction head.
+pub fn occupancy_trunk(cfg: &OccupancyConfig) -> Graph {
+    let mut g = Graph::new("occupancy");
+    let (h, w) = cfg.in_grid;
+    let mut cur = g
+        .add(
+            Layer::new(
+                "occupancy.in_proj",
+                OpKind::Conv2d {
+                    in_ch: cfg.in_ch,
+                    out_ch: cfg.ch,
+                    kernel: (1, 1),
+                    stride: 1,
+                },
+                TensorShape::nchw(1, cfg.ch, h, w),
+            ),
+            &[],
+        )
+        .expect("first layer");
+
+    let (mut ch_h, mut ch_w) = (h, w);
+    for lvl in 0..cfg.levels {
+        ch_h *= 2;
+        ch_w *= 2;
+        cur = g
+            .add(
+                Layer::new(
+                    format!("occupancy.deconv{}", lvl + 1),
+                    OpKind::Deconv2d {
+                        in_ch: cfg.ch,
+                        out_ch: cfg.ch,
+                        kernel: (4, 4),
+                        upscale: 2,
+                    },
+                    TensorShape::nchw(1, cfg.ch, ch_h, ch_w),
+                ),
+                &[cur],
+            )
+            .expect("cur exists");
+    }
+
+    g.add(
+        Layer::new(
+            "occupancy.head",
+            OpKind::Conv2d {
+                in_ch: cfg.ch,
+                out_ch: cfg.out_classes,
+                kernel: (1, 1),
+                stride: 1,
+            },
+            TensorShape::nchw(1, cfg.out_classes, ch_h, ch_w),
+        ),
+        &[cur],
+    )
+    .expect("cur exists");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tower_reaches_16x() {
+        let g = occupancy_trunk(&OccupancyConfig::default());
+        let out = g.layer(g.sinks()[0]).out();
+        assert_eq!((out.h(), out.w()), (320, 1280));
+        assert_eq!(out.c(), 17);
+    }
+
+    #[test]
+    fn level_costs_quadruple_per_level() {
+        // Uniform tower width => each 2x level costs ~4x the previous
+        // (the Table III scaling pattern).
+        let g = occupancy_trunk(&OccupancyConfig::default());
+        let mac = |name: &str| g.layer(g.find(name).unwrap()).macs().as_f64();
+        for lvl in 1..4 {
+            let ratio = mac(&format!("occupancy.deconv{}", lvl + 1))
+                / mac(&format!("occupancy.deconv{lvl}"));
+            assert!((ratio - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn last_level_dominates() {
+        let g = occupancy_trunk(&OccupancyConfig::default());
+        let total = g.total_macs().as_f64();
+        let last = g
+            .layer(g.find("occupancy.deconv4").unwrap())
+            .macs()
+            .as_f64();
+        let share = last / total;
+        assert!(
+            (0.6..0.85).contains(&share),
+            "paper: final layer ~75% of trunk latency, got {share:.2}"
+        );
+    }
+
+    #[test]
+    fn with_levels_shrinks_tower() {
+        let g = occupancy_trunk(&OccupancyConfig::default().with_levels(1));
+        let out = g.layer(g.sinks()[0]).out();
+        assert_eq!((out.h(), out.w()), (40, 160));
+        assert_eq!(g.len(), 3); // proj + 1 deconv + head
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_rejected() {
+        let _ = OccupancyConfig::default().with_levels(0);
+    }
+}

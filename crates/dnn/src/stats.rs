@@ -1,0 +1,151 @@
+//! Workload statistics: MAC/parameter/activation histograms per op class.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::{Bytes, Dtype, MacCount};
+
+use crate::graph::Graph;
+use crate::op::OpClass;
+use crate::pipeline::PerceptionPipeline;
+
+/// Aggregate statistics of one graph or pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Layer count.
+    pub layers: u64,
+    /// Total MACs.
+    pub macs: MacCount,
+    /// Total parameters.
+    pub weight_bytes: Bytes,
+    /// Total activation output volume.
+    pub activation_bytes: Bytes,
+    /// Per-class `(layers, macs)`.
+    pub by_class: Vec<(OpClass, u64, MacCount)>,
+}
+
+impl WorkloadStats {
+    /// Statistics of one graph.
+    pub fn of_graph(graph: &Graph, dtype: Dtype) -> Self {
+        let mut stats = WorkloadStats {
+            by_class: OpClass::ALL
+                .iter()
+                .map(|&c| (c, 0, MacCount::ZERO))
+                .collect(),
+            ..WorkloadStats::default()
+        };
+        for (_, layer) in graph.iter() {
+            stats.layers += 1;
+            stats.macs += layer.macs();
+            stats.weight_bytes += layer.weight_bytes(dtype);
+            stats.activation_bytes += layer.output_bytes(dtype);
+            let entry = stats
+                .by_class
+                .iter_mut()
+                .find(|(c, _, _)| *c == layer.class())
+                .expect("all classes present");
+            entry.1 += 1;
+            entry.2 += layer.macs();
+        }
+        stats.by_class.retain(|(_, n, _)| *n > 0);
+        stats
+    }
+
+    /// Statistics of a whole pipeline (model instances included).
+    pub fn of_pipeline(pipeline: &PerceptionPipeline, dtype: Dtype) -> Self {
+        let mut total = WorkloadStats {
+            by_class: OpClass::ALL
+                .iter()
+                .map(|&c| (c, 0, MacCount::ZERO))
+                .collect(),
+            ..WorkloadStats::default()
+        };
+        for stage in pipeline.stages() {
+            for sm in stage.models() {
+                let g = WorkloadStats::of_graph(sm.graph(), dtype);
+                let n = sm.instances();
+                total.layers += g.layers * n;
+                total.macs += g.macs * n;
+                total.weight_bytes += g.weight_bytes * n;
+                total.activation_bytes += g.activation_bytes * n;
+                for (c, cn, cm) in &g.by_class {
+                    let entry = total
+                        .by_class
+                        .iter_mut()
+                        .find(|(tc, _, _)| tc == c)
+                        .expect("all classes present");
+                    entry.1 += cn * n;
+                    entry.2 += *cm * n;
+                }
+            }
+        }
+        total.by_class.retain(|(_, n, _)| *n > 0);
+        total
+    }
+
+    /// Share of MACs in the given class.
+    pub fn class_share(&self, class: OpClass) -> f64 {
+        if self.macs.as_u64() == 0 {
+            return 0.0;
+        }
+        self.by_class
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, _, m)| m.as_f64() / self.macs.as_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} layers, {}, weights {}, activations {}",
+            self.layers, self.macs, self.weight_bytes, self.activation_bytes
+        )?;
+        for (c, n, m) in &self.by_class {
+            writeln!(f, "  {c:9} {n:4} layers  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PerceptionConfig;
+
+    #[test]
+    fn pipeline_stats_are_plausible() {
+        let pipe = PerceptionConfig::default().build();
+        let s = WorkloadStats::of_pipeline(&pipe, Dtype::Fp16);
+        // 8 FE instances at ~60 layers each plus fusion/trunks.
+        assert!(s.layers > 400, "{}", s.layers);
+        // ~320 GMAC/frame: 8x35 FE + 12 S + 21 T + ~40 trunks.
+        assert!((250.0..420.0).contains(&s.macs.as_gmacs()), "{}", s.macs);
+        // Conv-class dominates total MACs (the 8 FE instances).
+        assert!(s.class_share(OpClass::Conv) > 0.5);
+        // Linear+attention carry the fusion stages.
+        assert!(s.class_share(OpClass::Linear) > 0.08);
+    }
+
+    #[test]
+    fn graph_stats_match_graph_totals() {
+        let pipe = PerceptionConfig::default().build();
+        let g = pipe.stages()[1].models()[0].graph();
+        let s = WorkloadStats::of_graph(g, Dtype::Fp16);
+        assert_eq!(s.macs, g.total_macs());
+        assert_eq!(s.layers as usize, g.len());
+        assert_eq!(s.weight_bytes, g.total_weight_bytes(Dtype::Fp16));
+    }
+
+    #[test]
+    fn display_lists_classes() {
+        let pipe = PerceptionConfig::default().build();
+        let s = WorkloadStats::of_pipeline(&pipe, Dtype::Fp16);
+        let text = s.to_string();
+        assert!(text.contains("conv"));
+        assert!(text.contains("linear"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Graph validation: shape-compatibility checking between layers.
+//!
+//! The model-zoo builders construct shapes by hand; this pass catches
+//! wiring mistakes (channel mismatches, spatial mismatches at eltwise
+//! joins, token-count mismatches through attention chains) before a graph
+//! reaches the cost models.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{Graph, LayerId};
+use crate::op::OpKind;
+
+/// A shape-compatibility violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The offending layer.
+    pub layer: LayerId,
+    /// Layer name.
+    pub name: String,
+    /// Human-readable problem description.
+    pub problem: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {}", self.layer, self.name, self.problem)
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates every edge of the graph; returns all violations found.
+///
+/// Checks performed:
+/// * convolution-family layers: predecessor channel count must equal the
+///   declared `in_ch`;
+/// * eltwise joins: all predecessors share the output shape;
+/// * dense/FFN layers: some predecessor supplies at least the declared
+///   input features (projection heads may consume a slice);
+/// * every non-source layer has a predecessor with a non-empty output.
+pub fn validate(graph: &Graph) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut report = |id: LayerId, name: &str, problem: String| {
+        errors.push(ValidationError {
+            layer: id,
+            name: name.to_string(),
+            problem,
+        });
+    };
+
+    for (id, layer) in graph.iter() {
+        let preds = graph.preds(id);
+        if preds.is_empty() {
+            continue; // sources are fed externally
+        }
+        match layer.op() {
+            OpKind::Conv2d { in_ch, .. } | OpKind::Deconv2d { in_ch, .. } => {
+                let ok = preds.iter().any(|&p| graph.layer(p).out().c() == in_ch);
+                if !ok {
+                    let got: Vec<u64> = preds.iter().map(|&p| graph.layer(p).out().c()).collect();
+                    report(
+                        id,
+                        layer.name(),
+                        format!("expects {in_ch} input channels, predecessors give {got:?}"),
+                    );
+                }
+            }
+            OpKind::DwConv2d { ch, .. } => {
+                let ok = preds.iter().any(|&p| graph.layer(p).out().c() == ch);
+                if !ok {
+                    report(id, layer.name(), format!("depthwise expects {ch} channels"));
+                }
+            }
+            OpKind::Eltwise => {
+                let out = layer.out();
+                for &p in preds {
+                    if graph.layer(p).out() != out {
+                        report(
+                            id,
+                            layer.name(),
+                            format!(
+                                "eltwise shape mismatch: {} vs {}",
+                                graph.layer(p).out(),
+                                out
+                            ),
+                        );
+                    }
+                }
+            }
+            OpKind::Dense { in_features, .. }
+            | OpKind::Ffn {
+                d_model: in_features,
+                ..
+            } => {
+                let ok = preds
+                    .iter()
+                    .any(|&p| graph.layer(p).out().c() >= in_features);
+                if !ok {
+                    report(
+                        id,
+                        layer.name(),
+                        format!("no predecessor supplies {in_features} features"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    errors
+}
+
+/// Validates and panics with a readable report on the first failure —
+/// for use in builders and tests.
+///
+/// # Panics
+///
+/// Panics if the graph has any validation error.
+pub fn assert_valid(graph: &Graph) {
+    let errors = validate(graph);
+    assert!(
+        errors.is_empty(),
+        "graph `{}` has {} validation error(s):\n{}",
+        graph.name(),
+        errors.len(),
+        errors
+            .iter()
+            .map(ValidationError::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::models::attention::{fusion_block, FusionConfig};
+    use crate::models::detection::{detection_head, DetectionConfig};
+    use crate::models::lane::{lane_trunk, LaneConfig};
+    use crate::models::occupancy::{occupancy_trunk, OccupancyConfig};
+    use crate::models::{fe_bfpn, BifpnConfig, FeConfig};
+    use crate::pipeline::PerceptionConfig;
+    use npu_tensor::TensorShape;
+
+    #[test]
+    fn every_zoo_model_validates() {
+        assert_valid(&fe_bfpn(&FeConfig::default(), &BifpnConfig::default()));
+        assert_valid(&fusion_block(&FusionConfig::spatial_default()));
+        assert_valid(&fusion_block(&FusionConfig::temporal_default()));
+        assert_valid(&occupancy_trunk(&OccupancyConfig::default()));
+        assert_valid(&lane_trunk(&LaneConfig::default()));
+        assert_valid(&detection_head("det", &DetectionConfig::default()));
+    }
+
+    #[test]
+    fn full_pipeline_validates() {
+        let pipe = PerceptionConfig::default().build();
+        for stage in pipe.stages() {
+            for sm in stage.models() {
+                assert_valid(sm.graph());
+            }
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_is_caught() {
+        let mut g = Graph::new("bad");
+        let a = g
+            .add(
+                Layer::new(
+                    "a",
+                    OpKind::Conv2d {
+                        in_ch: 3,
+                        out_ch: 64,
+                        kernel: (3, 3),
+                        stride: 1,
+                    },
+                    TensorShape::nchw(1, 64, 8, 8),
+                ),
+                &[],
+            )
+            .unwrap();
+        g.add(
+            Layer::new(
+                "b",
+                OpKind::Conv2d {
+                    in_ch: 128, // wrong: a gives 64
+                    out_ch: 64,
+                    kernel: (3, 3),
+                    stride: 1,
+                },
+                TensorShape::nchw(1, 64, 8, 8),
+            ),
+            &[a],
+        )
+        .unwrap();
+        let errs = validate(&g);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("128 input channels"));
+    }
+
+    #[test]
+    fn eltwise_mismatch_is_caught() {
+        let mut g = Graph::new("bad");
+        let a = g
+            .add(
+                Layer::new("a", OpKind::Resample, TensorShape::nchw(1, 8, 4, 4)),
+                &[],
+            )
+            .unwrap();
+        let b = g
+            .add(
+                Layer::new("b", OpKind::Resample, TensorShape::nchw(1, 8, 2, 2)),
+                &[],
+            )
+            .unwrap();
+        g.add(
+            Layer::new("sum", OpKind::Eltwise, TensorShape::nchw(1, 8, 4, 4)),
+            &[a, b],
+        )
+        .unwrap();
+        assert_eq!(validate(&g).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "validation error")]
+    fn assert_valid_panics_on_bad_graph() {
+        let mut g = Graph::new("bad");
+        let a = g
+            .add(
+                Layer::new("a", OpKind::Resample, TensorShape::nchw(1, 8, 4, 4)),
+                &[],
+            )
+            .unwrap();
+        g.add(
+            Layer::intrinsic(
+                "d",
+                OpKind::Dense {
+                    tokens: 16,
+                    in_features: 999,
+                    out_features: 8,
+                },
+            ),
+            &[a],
+        )
+        .unwrap();
+        assert_valid(&g);
+    }
+}

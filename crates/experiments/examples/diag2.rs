@@ -1,0 +1,4 @@
+fn main() {
+    println!("{}", npu_experiments::table1::run());
+    println!("{}", npu_experiments::fig9::run());
+}

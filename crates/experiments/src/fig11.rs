@@ -1,0 +1,84 @@
+//! Fig. 11 — lane trunk latency/energy under context-aware computing.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::lane::LaneConfig;
+use npu_maestro::{Accelerator, FittedMaestro};
+use npu_sched::context::{lane_context_sweep, max_feasible_retention, ContextPoint};
+use npu_tensor::Seconds;
+
+use crate::text::{ms, TextTable};
+
+/// Fig. 11 reproduction result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Sweep points (100% → 10% retained context).
+    pub points: Vec<ContextPoint>,
+    /// The pipelining-latency threshold (dashed line; paper: 82 ms).
+    pub constraint: Seconds,
+    /// Largest feasible retention percentage (paper: ~60%).
+    pub max_feasible_pct: f64,
+}
+
+/// Runs the context sweep.
+pub fn run() -> Fig11 {
+    let model = FittedMaestro::new();
+    let acc = Accelerator::shidiannao_like(256);
+    let points = lane_context_sweep(&LaneConfig::default(), &model, &acc);
+    let constraint = Seconds::from_millis(82.0);
+    let max_feasible_pct =
+        max_feasible_retention(&points, constraint).expect("low retentions feasible");
+    Fig11 {
+        points,
+        constraint,
+        max_feasible_pct,
+    }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Fig. 11 - lane trunk under context-aware computing",
+            &["context[%]", "lat[ms]", "E[mJ]", "meets 82 ms"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.0}", p.retained_pct),
+                ms(p.latency),
+                format!("{:.2}", p.energy.as_millijoules()),
+                (p.latency <= self.constraint).to_string(),
+            ]);
+        }
+        t.note(format!(
+            "max feasible retention: {:.0}% (paper: around 60%)",
+            self.max_feasible_pct
+        ));
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_60pct_meets_the_constraint() {
+        let r = run();
+        assert!(
+            (50.0..=75.0).contains(&r.max_feasible_pct),
+            "{}",
+            r.max_feasible_pct
+        );
+        // Full context violates it (the paper's motivating observation).
+        assert!(r.points[0].latency > r.constraint);
+    }
+
+    #[test]
+    fn sweep_has_paper_x_axis() {
+        let r = run();
+        let pcts: Vec<f64> = r.points.iter().map(|p| p.retained_pct).collect();
+        assert_eq!(pcts, vec![100.0, 90.0, 75.0, 60.0, 50.0, 40.0, 25.0, 10.0]);
+    }
+}

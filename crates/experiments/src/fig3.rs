@@ -1,0 +1,214 @@
+//! Fig. 3 — latency and energy breakdown per perception component on
+//! Shidiannao-like (OS) and NVDLA-like (WS) single 256-PE chiplets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::detection::detection_head;
+use npu_dnn::{PerceptionConfig, StageKind};
+use npu_maestro::{calib, graph_cost, Accelerator, FittedMaestro};
+use npu_tensor::{Joules, Seconds};
+
+use crate::text::{ms, TextTable};
+
+/// One perception component's OS/WS costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRow {
+    /// Component label.
+    pub component: String,
+    /// Latency on the OS chiplet.
+    pub os_latency: Seconds,
+    /// Latency on the WS chiplet.
+    pub ws_latency: Seconds,
+    /// Energy on the OS chiplet.
+    pub os_energy: Joules,
+    /// Energy on the WS chiplet.
+    pub ws_energy: Joules,
+}
+
+/// Fig. 3 reproduction result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// Per-component rows (FE per camera, fusion stages, trunks).
+    pub rows: Vec<ComponentRow>,
+    /// Time-weighted OS-over-WS speedup (paper: 6.85×).
+    pub os_speedup: f64,
+    /// WS energy gain including fusion (paper: 1.2×).
+    pub ws_energy_gain: f64,
+    /// WS energy gain excluding fusion (paper: 1.55×).
+    pub ws_energy_gain_no_fusion: f64,
+    /// Latency share of S_FUSE on the OS chiplet (paper: 25–28%).
+    pub s_fuse_share: f64,
+    /// Latency share of T_FUSE on the OS chiplet (paper: 52–54%).
+    pub t_fuse_share: f64,
+}
+
+/// Runs the Fig. 3 breakdown.
+pub fn run() -> Fig3 {
+    let cfg = PerceptionConfig::default();
+    let pipeline = cfg.build();
+    let model = FittedMaestro::new();
+    let os = Accelerator::shidiannao_like(256);
+    let ws = Accelerator::nvdla_like(256);
+
+    let mut rows = Vec::new();
+    let mut add = |label: &str, graph: &npu_dnn::Graph| {
+        let osc = graph_cost(&model, graph, &os);
+        let wsc = graph_cost(&model, graph, &ws);
+        rows.push(ComponentRow {
+            component: label.to_string(),
+            os_latency: osc.serial_latency(),
+            ws_latency: wsc.serial_latency(),
+            os_energy: osc.energy(),
+            ws_energy: wsc.energy(),
+        });
+    };
+
+    // FE+BFPN is reported per camera ("to be multiplied by 8", §III-A).
+    add(
+        "FE+BFPN (1 cam)",
+        pipeline.stage(StageKind::FeatureExtraction).models()[0].graph(),
+    );
+    add(
+        "S_FUSE",
+        pipeline.stage(StageKind::SpatialFusion).models()[0].graph(),
+    );
+    add(
+        "T_FUSE",
+        pipeline.stage(StageKind::TemporalFusion).models()[0].graph(),
+    );
+    // Trunks: occupancy + lane + detectors serially on one chiplet.
+    let trunk_stage = pipeline.stage(StageKind::Trunks);
+    let occ = trunk_stage.models()[0].graph();
+    let lane = trunk_stage.models()[1].graph();
+    let det = detection_head("det", &cfg.detection);
+    let osc: Vec<_> = [occ, lane, &det]
+        .iter()
+        .map(|g| graph_cost(&model, g, &os))
+        .collect();
+    let wsc: Vec<_> = [occ, lane, &det]
+        .iter()
+        .map(|g| graph_cost(&model, g, &ws))
+        .collect();
+    let dets = cfg.detectors as f64;
+    let scale = |i: usize| if i == 2 { dets } else { 1.0 };
+    rows.push(ComponentRow {
+        component: "TR (trunks)".to_string(),
+        os_latency: osc
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.serial_latency() * scale(i))
+            .sum(),
+        ws_latency: wsc
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.serial_latency() * scale(i))
+            .sum(),
+        os_energy: osc
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.energy() * scale(i))
+            .sum(),
+        ws_energy: wsc
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.energy() * scale(i))
+            .sum(),
+    });
+
+    let os_total: Seconds = rows.iter().map(|r| r.os_latency).sum();
+    let ws_total: Seconds = rows.iter().map(|r| r.ws_latency).sum();
+    let os_e: Joules = rows.iter().map(|r| r.os_energy).sum();
+    let ws_e: Joules = rows.iter().map(|r| r.ws_energy).sum();
+    let no_fusion = |v: &[ComponentRow]| -> (Joules, Joules) {
+        let filt: Vec<&ComponentRow> = v.iter().filter(|r| !r.component.contains("FUSE")).collect();
+        (
+            filt.iter().map(|r| r.os_energy).sum(),
+            filt.iter().map(|r| r.ws_energy).sum(),
+        )
+    };
+    let (os_nf, ws_nf) = no_fusion(&rows);
+
+    Fig3 {
+        os_speedup: ws_total / os_total,
+        ws_energy_gain: os_e / ws_e,
+        ws_energy_gain_no_fusion: os_nf / ws_nf,
+        s_fuse_share: rows[1].os_latency / os_total,
+        t_fuse_share: rows[2].os_latency / os_total,
+        rows,
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Fig. 3 - component breakdown on one 256-PE chiplet (OS vs WS)",
+            &[
+                "component",
+                "OS lat[ms]",
+                "WS lat[ms]",
+                "OS E[mJ]",
+                "WS E[mJ]",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.component.clone(),
+                ms(r.os_latency),
+                ms(r.ws_latency),
+                format!("{:.1}", r.os_energy.as_millijoules()),
+                format!("{:.1}", r.ws_energy.as_millijoules()),
+            ]);
+        }
+        t.note(format!(
+            "OS speedup {:.2}x (paper {:.2}x); WS energy gain {:.2}x (paper {:.1}x), excl. fusion {:.2}x (paper {:.2}x)",
+            self.os_speedup,
+            calib::PAPER_OS_WS_SPEEDUP,
+            self.ws_energy_gain,
+            calib::PAPER_WS_ENERGY_GAIN,
+            self.ws_energy_gain_no_fusion,
+            calib::PAPER_WS_ENERGY_GAIN_NO_FUSION,
+        ));
+        t.note(format!(
+            "fusion latency shares: S_FUSE {:.0}% (paper 25-28%), T_FUSE {:.0}% (paper 52-54%)",
+            self.s_fuse_share * 100.0,
+            self.t_fuse_share * 100.0
+        ));
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_paper_shapes() {
+        let r = run();
+        assert_eq!(r.rows.len(), 4);
+        // OS speedup in the paper's band.
+        assert!((5.5..8.0).contains(&r.os_speedup), "{}", r.os_speedup);
+        // WS energy gains bracket the paper's 1.2x / 1.55x.
+        assert!(
+            (1.05..1.4).contains(&r.ws_energy_gain),
+            "{}",
+            r.ws_energy_gain
+        );
+        assert!(
+            (1.35..1.6).contains(&r.ws_energy_gain_no_fusion),
+            "{}",
+            r.ws_energy_gain_no_fusion
+        );
+        // Fusion shares.
+        assert!((0.22..0.32).contains(&r.s_fuse_share), "{}", r.s_fuse_share);
+        assert!((0.46..0.60).contains(&r.t_fuse_share), "{}", r.t_fuse_share);
+    }
+
+    #[test]
+    fn every_component_is_os_latency_affine() {
+        for row in run().rows {
+            assert!(row.os_latency < row.ws_latency, "{}", row.component);
+        }
+    }
+}

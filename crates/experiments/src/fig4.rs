@@ -1,0 +1,180 @@
+//! Fig. 4 — per-layer affinities toward OS vs WS dataflows.
+//!
+//! `ΔValue = Value_OS − Value_WS`: negative ⇒ OS-affine, positive ⇒
+//! WS-affine. The paper's observations: FE+BFPN trades latency (OS) for
+//! energy (WS) on every layer; fusion layers are OS-affine in *both*;
+//! trunks are mixed (lane fully OS-skewed, detection/occupancy exploitable).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::detection::detection_head;
+use npu_dnn::{OpClass, PerceptionConfig, StageKind};
+use npu_maestro::{Accelerator, CostModel, FittedMaestro};
+
+use crate::text::TextTable;
+
+/// Per-layer ΔLatency / ΔEnergy entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinityRow {
+    /// Workload group (`fe`, `fusion`, `trunks`).
+    pub group: String,
+    /// Layer name.
+    pub layer: String,
+    /// Operator class.
+    pub class: OpClass,
+    /// `lat_OS − lat_WS` in ms (negative = OS faster).
+    pub d_latency_ms: f64,
+    /// `energy_OS − energy_WS` in mJ (negative = OS more efficient).
+    pub d_energy_mj: f64,
+}
+
+/// Fig. 4 reproduction result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// All per-layer rows.
+    pub rows: Vec<AffinityRow>,
+}
+
+impl Fig4 {
+    /// Rows of one group.
+    pub fn group(&self, g: &str) -> Vec<&AffinityRow> {
+        self.rows.iter().filter(|r| r.group == g).collect()
+    }
+}
+
+/// Runs the Fig. 4 sweep.
+pub fn run() -> Fig4 {
+    let cfg = PerceptionConfig::default();
+    let pipeline = cfg.build();
+    let model = FittedMaestro::new();
+    let os = Accelerator::shidiannao_like(256);
+    let ws = Accelerator::nvdla_like(256);
+
+    let mut rows = Vec::new();
+    let mut sweep = |group: &str, graph: &npu_dnn::Graph| {
+        for (_, layer) in graph.iter() {
+            if layer.class() == OpClass::Memory {
+                continue; // data movement: identical on both dataflows
+            }
+            let c_os = model.layer_cost(layer, &os);
+            let c_ws = model.layer_cost(layer, &ws);
+            rows.push(AffinityRow {
+                group: group.to_string(),
+                layer: layer.name().to_string(),
+                class: layer.class(),
+                d_latency_ms: c_os.latency.as_millis() - c_ws.latency.as_millis(),
+                d_energy_mj: c_os.energy.as_millijoules() - c_ws.energy.as_millijoules(),
+            });
+        }
+    };
+
+    sweep(
+        "fe",
+        pipeline.stage(StageKind::FeatureExtraction).models()[0].graph(),
+    );
+    sweep(
+        "fusion",
+        pipeline.stage(StageKind::SpatialFusion).models()[0].graph(),
+    );
+    sweep(
+        "fusion",
+        pipeline.stage(StageKind::TemporalFusion).models()[0].graph(),
+    );
+    let trunks = pipeline.stage(StageKind::Trunks);
+    sweep("trunks", trunks.models()[0].graph());
+    sweep("trunks", trunks.models()[1].graph());
+    let det = detection_head("det", &cfg.detection);
+    sweep("trunks", &det);
+
+    Fig4 { rows }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Fig. 4 - per-layer OS/WS affinities (negative = OS-affine)",
+            &["group", "layer", "class", "dLat[ms]", "dE[mJ]"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.group.clone(),
+                r.layer.clone(),
+                r.class.to_string(),
+                format!("{:+.2}", r.d_latency_ms),
+                format!("{:+.3}", r.d_energy_mj),
+            ]);
+        }
+        let fusion_os = self
+            .rows
+            .iter()
+            .filter(|r| r.group == "fusion")
+            .all(|r| r.d_latency_ms < 0.0 && r.d_energy_mj < 0.0);
+        t.note(format!(
+            "fusion layers OS-affine in latency AND energy: {fusion_os} (paper: yes)"
+        ));
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fe_trades_latency_for_energy() {
+        let r = run();
+        for row in r.group("fe") {
+            assert!(row.d_latency_ms < 0.0, "{} lat", row.layer);
+            assert!(row.d_energy_mj > 0.0, "{} energy", row.layer);
+        }
+    }
+
+    #[test]
+    fn fusion_layers_fully_os_affine() {
+        let r = run();
+        let fusion = r.group("fusion");
+        assert!(!fusion.is_empty());
+        for row in fusion {
+            assert!(row.d_latency_ms < 0.0, "{}", row.layer);
+            assert!(row.d_energy_mj < 0.0, "{}", row.layer);
+        }
+    }
+
+    #[test]
+    fn lane_is_os_skewed_but_trunks_expose_tradeoffs() {
+        let r = run();
+        let trunks = r.group("trunks");
+        // Lane (attention) rows: fully OS-affine.
+        for row in trunks.iter().filter(|r| r.layer.starts_with("lane")) {
+            assert!(
+                row.d_latency_ms < 0.0 && row.d_energy_mj < 0.0,
+                "{}",
+                row.layer
+            );
+        }
+        // Conv-class trunk layers offer the WS energy trade-off.
+        let tradeoff = trunks
+            .iter()
+            .filter(|r| matches!(r.class, OpClass::Conv | OpClass::Deconv))
+            .all(|r| r.d_energy_mj > 0.0 && r.d_latency_ms < 0.0);
+        assert!(tradeoff);
+    }
+
+    #[test]
+    fn fusion_bottleneck_is_confined_to_few_layers() {
+        // Paper §III-B: fusion bottlenecks are confined to a small number
+        // of layers -> the top-2 fusion layers dominate |dLat|.
+        let r = run();
+        let mut fusion: Vec<f64> = r
+            .group("fusion")
+            .iter()
+            .map(|row| row.d_latency_ms.abs())
+            .collect();
+        fusion.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = fusion.iter().sum();
+        let top2: f64 = fusion.iter().take(2).sum();
+        assert!(top2 / total > 0.5, "top2 {:.2} of {:.2}", top2, total);
+    }
+}

@@ -1,0 +1,194 @@
+//! Table I — heterogeneous integration for the MCM trunks.
+//!
+//! Compares OS-only, WS-only, Het(2) and Het(4) trunk quadrants under the
+//! paper's `L_cstr = 85 ms` EDP-scored brute force. The lane trunk runs
+//! with 60% retained context, the deployment point §V-C/Fig. 11
+//! establishes (full context violates the pipelining constraint).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::detection::detection_head;
+use npu_dnn::PerceptionConfig;
+use npu_maestro::{graph_cost, Accelerator, FittedMaestro};
+use npu_mcm::McmPackage;
+use npu_sched::dse::{table1_variants, DseConfig, DseResult};
+
+use crate::text::{ms, pct, TextTable};
+
+/// Table I reproduction result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// OS / WS / Het(2) / Het(4) results.
+    pub variants: Vec<DseResult>,
+    /// DET trunk energy reduction when mapped to WS (paper: −35%).
+    pub det_ws_energy_reduction: f64,
+}
+
+/// Paper Table I reference rows: (label, e2e ms, pipe ms, energy J, EDP).
+pub const PAPER_ROWS: [(&str, f64, f64, f64, f64); 4] = [
+    ("OS", 91.2, 87.9, 0.185, 16.89),
+    ("WS", 605.7, 605.7, 0.139, 59.35),
+    ("Het(2)", 91.3, 71.7, 0.183, 14.38),
+    ("Het(4)", 91.3, 71.7, 0.174, 15.1),
+];
+
+/// Runs the Table I exploration.
+pub fn run() -> Table1 {
+    let mut cfg = PerceptionConfig::default();
+    cfg.lane = cfg.lane.with_context_fraction(0.6);
+    let pipeline = cfg.build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let variants = table1_variants(&pipeline, &pkg, &model, DseConfig::default());
+
+    // DET_TR in isolation: OS vs WS energy.
+    let det = detection_head("det", &cfg.detection);
+    let os = graph_cost(&model, &det, &Accelerator::shidiannao_like(256)).energy();
+    let ws = graph_cost(&model, &det, &Accelerator::nvdla_like(256)).energy();
+    let det_ws_energy_reduction = 1.0 - ws / os;
+
+    Table1 {
+        variants,
+        det_ws_energy_reduction,
+    }
+}
+
+impl Table1 {
+    /// The variant result by label.
+    pub fn variant(&self, label: &str) -> Option<&DseResult> {
+        self.variants.iter().find(|v| v.variant == label)
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let os = self.variant("OS").expect("OS present");
+        let mut t = TextTable::new(
+            "Table I - heterogeneous trunk integration (L_cstr = 85 ms)",
+            &[
+                "metric",
+                "OS",
+                "WS",
+                "Het(2)",
+                "Het(4)",
+                "d(2)",
+                "d(4)",
+                "paper d(2)",
+                "paper d(4)",
+            ],
+        );
+        let get = |l: &str| self.variant(l).expect("variant present");
+        let (h2, h4, ws) = (get("Het(2)"), get("Het(4)"), get("WS"));
+        t.row(vec![
+            "E2E Lat[ms]".into(),
+            ms(os.report.e2e),
+            ms(ws.report.e2e),
+            ms(h2.report.e2e),
+            ms(h4.report.e2e),
+            pct(h2.report.e2e.as_secs(), os.report.e2e.as_secs()),
+            pct(h4.report.e2e.as_secs(), os.report.e2e.as_secs()),
+            "+0.1%".into(),
+            "+0.1%".into(),
+        ]);
+        t.row(vec![
+            "Pipe Lat[ms]".into(),
+            ms(os.report.pipe),
+            ms(ws.report.pipe),
+            ms(h2.report.pipe),
+            ms(h4.report.pipe),
+            pct(h2.report.pipe.as_secs(), os.report.pipe.as_secs()),
+            pct(h4.report.pipe.as_secs(), os.report.pipe.as_secs()),
+            "-18.4%".into(),
+            "-18.4%".into(),
+        ]);
+        t.row(vec![
+            "Energy[J]".into(),
+            format!("{:.4}", os.report.energy().as_joules()),
+            format!("{:.4}", ws.report.energy().as_joules()),
+            format!("{:.4}", h2.report.energy().as_joules()),
+            format!("{:.4}", h4.report.energy().as_joules()),
+            pct(
+                h2.report.energy().as_joules(),
+                os.report.energy().as_joules(),
+            ),
+            pct(
+                h4.report.energy().as_joules(),
+                os.report.energy().as_joules(),
+            ),
+            "-1.1%".into(),
+            "-6.2%".into(),
+        ]);
+        t.row(vec![
+            "EDP[ms*J]".into(),
+            format!("{:.2}", os.report.edp().as_millijoule_millis()),
+            format!("{:.2}", ws.report.edp().as_millijoule_millis()),
+            format!("{:.2}", h2.report.edp().as_millijoule_millis()),
+            format!("{:.2}", h4.report.edp().as_millijoule_millis()),
+            pct(
+                h2.report.edp().as_joule_secs(),
+                os.report.edp().as_joule_secs(),
+            ),
+            pct(
+                h4.report.edp().as_joule_secs(),
+                os.report.edp().as_joule_secs(),
+            ),
+            "-17.4%".into(),
+            "-12.0%".into(),
+        ]);
+        t.note(format!(
+            "DET_TR on WS: {:.0}% energy reduction (paper: 35%)",
+            self.det_ws_energy_reduction * 100.0
+        ));
+        t.note(format!(
+            "WS-only violates L_cstr by {:.1}x (paper: 605.7 ms vs 85 ms)",
+            ws.report.pipe.as_secs() / 0.085
+        ));
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_saves_about_35pct_on_ws() {
+        let r = run();
+        assert!(
+            (0.30..0.40).contains(&r.det_ws_energy_reduction),
+            "{}",
+            r.det_ws_energy_reduction
+        );
+    }
+
+    #[test]
+    fn het_reduces_energy_and_edp_at_unchanged_e2e() {
+        let r = run();
+        let os = r.variant("OS").unwrap();
+        for label in ["Het(2)", "Het(4)"] {
+            let het = r.variant(label).unwrap();
+            assert!(het.report.energy() < os.report.energy(), "{label} energy");
+            assert!(
+                het.report.edp().as_joule_secs() <= os.report.edp().as_joule_secs(),
+                "{label} EDP"
+            );
+            let drift = (het.report.e2e / os.report.e2e - 1.0).abs();
+            assert!(drift < 0.05, "{label} e2e drift {drift}");
+        }
+    }
+
+    #[test]
+    fn ws_only_matches_paper_factor() {
+        let r = run();
+        let os = r.variant("OS").unwrap();
+        let ws = r.variant("WS").unwrap();
+        let factor = ws.report.e2e / os.report.e2e;
+        // Paper: 605.7/91.2 = 6.6x.
+        assert!((4.0..10.0).contains(&factor), "{factor}");
+        assert!(!ws.feasible);
+        // WS has the lowest raw energy (paper: 0.139 vs 0.185 J).
+        assert!(ws.report.energy() < os.report.energy());
+    }
+}

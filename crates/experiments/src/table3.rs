@@ -1,0 +1,161 @@
+//! Table III — input-scaling effects on the occupancy trunk.
+//!
+//! Sweeps the deconvolution tower depth (upsampling factor 2×…16×) and
+//! reports E2E and layerwise-pipelined latency on one OS chiplet; the
+//! paper observes ~4× growth per added level with the final level
+//! contributing ~75% of total latency.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::occupancy::{occupancy_trunk, OccupancyConfig};
+use npu_maestro::{graph_cost, Accelerator, FittedMaestro};
+use npu_tensor::Seconds;
+
+use crate::text::{ms, TextTable};
+
+/// One upsampling-factor row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyRow {
+    /// Total upsampling factor (2^levels).
+    pub factor: u64,
+    /// E2E (serial) latency on one chiplet.
+    pub e2e: Seconds,
+    /// Layerwise pipelining latency (max single layer).
+    pub pipe: Seconds,
+}
+
+/// Table III reproduction result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows for 2×, 4×, 8×, 16×.
+    pub rows: Vec<OccupancyRow>,
+    /// Share of the final deconvolution level in the 16× E2E latency
+    /// (paper: ~75%).
+    pub last_level_share: f64,
+}
+
+/// Paper Table III: (factor, e2e ms, pipe ms).
+pub const PAPER_ROWS: [(u64, f64, f64); 4] = [
+    (2, 0.97, 0.97),
+    (4, 4.97, 3.99),
+    (8, 21.16, 16.18),
+    (16, 86.29, 65.13),
+];
+
+/// Runs the upsampling sweep.
+pub fn run() -> Table3 {
+    let model = FittedMaestro::new();
+    let os = Accelerator::shidiannao_like(256);
+    let mut rows = Vec::new();
+    let mut last_level_share = 0.0;
+
+    for levels in 1..=4u64 {
+        let cfg = OccupancyConfig::default().with_levels(levels);
+        let g = occupancy_trunk(&cfg);
+        let cost = graph_cost(&model, &g, &os);
+        let pipe = cost
+            .per_layer()
+            .iter()
+            .map(|(_, c)| c.latency)
+            .fold(Seconds::ZERO, Seconds::max);
+        if levels == 4 {
+            let last = g.find("occupancy.deconv4").expect("level 4 present");
+            last_level_share =
+                cost.layer(last).expect("cost present").latency / cost.serial_latency();
+        }
+        rows.push(OccupancyRow {
+            factor: cfg.upscale_factor(),
+            e2e: cost.serial_latency(),
+            pipe,
+        });
+    }
+
+    Table3 {
+        rows,
+        last_level_share,
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Table III - occupancy trunk upsampling ablation (one OS chiplet)",
+            &[
+                "factor",
+                "E2E[ms]",
+                "paper",
+                "Pipe[ms]",
+                "paper",
+                "E2E growth",
+            ],
+        );
+        let mut prev: Option<Seconds> = None;
+        for (row, paper) in self.rows.iter().zip(PAPER_ROWS) {
+            let growth = prev
+                .map(|p| format!("{:.2}x", row.e2e / p))
+                .unwrap_or_else(|| "-".to_string());
+            prev = Some(row.e2e);
+            t.row(vec![
+                format!("[{0}X,{0}Y]", row.factor),
+                ms(row.e2e),
+                format!("{:.2}", paper.1),
+                ms(row.pipe),
+                format!("{:.2}", paper.2),
+                growth,
+            ]);
+        }
+        t.note(format!(
+            "final upsampling level share of 16x latency: {:.0}% (paper: ~75%)",
+            self.last_level_share * 100.0
+        ));
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_roughly_4x_per_level() {
+        let t = run();
+        for pair in t.rows.windows(2) {
+            let ratio = pair[1].e2e / pair[0].e2e;
+            assert!((3.0..5.0).contains(&ratio), "ratio {ratio:.2}");
+        }
+    }
+
+    #[test]
+    fn within_paper_band() {
+        let t = run();
+        for (row, paper) in t.rows.iter().zip(PAPER_ROWS) {
+            let rel = (row.e2e.as_millis() / paper.1 - 1.0).abs();
+            assert!(
+                rel < 0.30,
+                "{}x: {} vs paper {}",
+                row.factor,
+                row.e2e,
+                paper.1
+            );
+        }
+    }
+
+    #[test]
+    fn last_level_dominates() {
+        let t = run();
+        assert!(
+            (0.6..0.85).contains(&t.last_level_share),
+            "{}",
+            t.last_level_share
+        );
+    }
+
+    #[test]
+    fn pipe_below_e2e_for_deep_towers() {
+        let t = run();
+        let deep = t.rows.last().unwrap();
+        assert!(deep.pipe < deep.e2e);
+    }
+}

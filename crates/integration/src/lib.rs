@@ -1,0 +1,2 @@
+//! Empty library crate; the integration tests live in the workspace-root
+//! `tests/` directory and are wired in via `[[test]]` path entries.

@@ -1,0 +1,167 @@
+//! Accelerator = PE array + dataflow + cost profile.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pe_array::PeArray;
+use crate::profile::DataflowProfile;
+
+/// The stationary-operand dataflow of an accelerator.
+///
+/// The paper studies the two dataflows its references \[13,19,36\] found
+/// dominant:
+///
+/// * [`Dataflow::OutputStationary`] — Shidiannao-like: the 2-D PE array is
+///   mapped to output pixels, partial sums never move. Excellent latency on
+///   spatial (conv-like) layers, starved by token-shaped operands.
+/// * [`Dataflow::WeightStationary`] — NVDLA-like: the array is mapped to
+///   the `K × C` weight cross-section; weights are fetched once, giving the
+///   energy edge on convolutions at a latency cost.
+/// * [`Dataflow::RowStationary`] — Eyeriss-like: filter and input rows are
+///   pinned to PEs. Provided as an *extension* beyond the paper (which
+///   studies OS/WS only); its profile is literature-informed, not fitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Shidiannao-like output-stationary mapping.
+    OutputStationary,
+    /// NVDLA-like weight-stationary mapping.
+    WeightStationary,
+    /// Eyeriss-like row-stationary mapping (extension; not paper-fitted).
+    RowStationary,
+}
+
+impl Dataflow {
+    /// Short label used in reports (`OS` / `WS`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataflow::OutputStationary => "OS",
+            Dataflow::WeightStationary => "WS",
+            Dataflow::RowStationary => "RS",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete accelerator instance: geometry, dataflow and fitted cost
+/// profile.
+///
+/// # Examples
+///
+/// ```
+/// use npu_maestro::{Accelerator, Dataflow};
+///
+/// let os = Accelerator::shidiannao_like(256);
+/// assert_eq!(os.dataflow(), Dataflow::OutputStationary);
+/// let ws = Accelerator::nvdla_like(256);
+/// assert_eq!(ws.array().pes(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    name: String,
+    array: PeArray,
+    dataflow: Dataflow,
+    profile: DataflowProfile,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from explicit parts.
+    pub fn new(
+        name: impl Into<String>,
+        array: PeArray,
+        dataflow: Dataflow,
+        profile: DataflowProfile,
+    ) -> Self {
+        Accelerator {
+            name: name.into(),
+            array,
+            dataflow,
+            profile,
+        }
+    }
+
+    /// A Shidiannao-like output-stationary accelerator with `pes` PEs and
+    /// the paper-calibrated profile.
+    pub fn shidiannao_like(pes: u64) -> Self {
+        Accelerator::new(
+            format!("shidiannao-{pes}"),
+            PeArray::square_ish(pes),
+            Dataflow::OutputStationary,
+            DataflowProfile::shidiannao_like(),
+        )
+    }
+
+    /// An NVDLA-like weight-stationary accelerator with `pes` PEs and the
+    /// paper-calibrated profile.
+    pub fn nvdla_like(pes: u64) -> Self {
+        Accelerator::new(
+            format!("nvdla-{pes}"),
+            PeArray::square_ish(pes),
+            Dataflow::WeightStationary,
+            DataflowProfile::nvdla_like(),
+        )
+    }
+
+    /// An Eyeriss-like row-stationary accelerator with `pes` PEs
+    /// (extension beyond the paper; literature-informed profile).
+    pub fn eyeriss_like(pes: u64) -> Self {
+        Accelerator::new(
+            format!("eyeriss-{pes}"),
+            PeArray::square_ish(pes),
+            Dataflow::RowStationary,
+            DataflowProfile::eyeriss_like(),
+        )
+    }
+
+    /// Accelerator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// PE array geometry.
+    pub fn array(&self) -> &PeArray {
+        &self.array
+    }
+
+    /// The dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// The fitted cost profile.
+    pub fn profile(&self) -> &DataflowProfile {
+        &self.profile
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} {}]", self.name, self.dataflow, self.array)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let os = Accelerator::shidiannao_like(256);
+        assert_eq!(os.dataflow(), Dataflow::OutputStationary);
+        assert_eq!(os.array().dims(), (16, 16));
+        let ws = Accelerator::nvdla_like(9216);
+        assert_eq!(ws.dataflow(), Dataflow::WeightStationary);
+        assert_eq!(ws.array().dims(), (96, 96));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Dataflow::OutputStationary.label(), "OS");
+        assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
+    }
+}

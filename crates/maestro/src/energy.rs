@@ -1,0 +1,219 @@
+//! Mechanistic energy decomposition.
+//!
+//! The fitted profiles in [`crate::profile`] carry *effective* pJ/MAC
+//! totals calibrated to the paper. This module explains those magnitudes
+//! from first principles: it counts per-tier memory accesses from the
+//! dataflow's reuse structure and prices them with published 28 nm-class
+//! per-access energies. It is used by the energy ablation (and is the
+//! place to start when re-targeting the simulator to other silicon).
+//!
+//! Scope: the access-count model is meaningful for *conv-class* layers
+//! (where operand working sets fit typical chiplet buffers and the reuse
+//! patterns below apply). Token-shaped ops are weight-streaming bound
+//! under every dataflow here; their OS/WS energy ordering is carried by
+//! the fitted profiles, not by this module.
+//!
+//! Reuse structure per dataflow (counts per layer):
+//!
+//! * **Output-stationary** — partial sums live in PE registers (one RF
+//!   write per MAC, one buffer write per output element); weights are
+//!   re-fetched from the global buffer once per output tile; inputs are
+//!   shifted between neighbours (amortized to one buffer read per input
+//!   element per tile row).
+//! * **Weight-stationary** — weights are fetched once; partial sums make
+//!   a buffer round-trip per reduction slice; inputs broadcast across the
+//!   `K` columns.
+//! * **Row-stationary** — filter rows and input rows are held in PE
+//!   registers; intermediate between the two above on every operand.
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::Layer;
+use npu_tensor::Joules;
+
+use crate::accelerator::{Accelerator, Dataflow};
+
+/// Per-access energies of one silicon target.
+///
+/// Defaults follow widely used 28/32 nm estimates (Horowitz ISSCC'14
+/// scaling): int8 MAC ≈ 0.56 pJ, register file ≈ 0.9 pJ, global buffer
+/// (100s of KiB SRAM) ≈ 6 pJ, DRAM ≈ 100 pJ per 2-byte word.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessEnergies {
+    /// One multiply-accumulate.
+    pub mac_pj: f64,
+    /// One PE register-file access.
+    pub rf_pj: f64,
+    /// One global-buffer (chiplet SRAM) access.
+    pub buffer_pj: f64,
+    /// One DRAM word access.
+    pub dram_pj: f64,
+}
+
+impl Default for AccessEnergies {
+    fn default() -> Self {
+        AccessEnergies {
+            mac_pj: 0.56,
+            rf_pj: 0.9,
+            buffer_pj: 6.0,
+            dram_pj: 100.0,
+        }
+    }
+}
+
+/// The decomposed energy of one layer on one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Arithmetic energy.
+    pub mac: Joules,
+    /// Register-file traffic energy.
+    pub rf: Joules,
+    /// Global-buffer traffic energy.
+    pub buffer: Joules,
+    /// DRAM traffic energy (weights + input + output, streamed once).
+    pub dram: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> Joules {
+        self.mac + self.rf + self.buffer + self.dram
+    }
+
+    /// Effective pJ per MAC given a MAC count.
+    pub fn per_mac_pj(&self, macs: f64) -> f64 {
+        if macs == 0.0 {
+            0.0
+        } else {
+            self.total().as_joules() / macs * 1e12
+        }
+    }
+}
+
+/// Counts per-tier accesses for a layer under the accelerator's dataflow
+/// and prices them.
+pub fn breakdown(layer: &Layer, acc: &Accelerator, costs: &AccessEnergies) -> EnergyBreakdown {
+    let d = layer.dims();
+    let macs = layer.macs().as_f64();
+    let pes = acc.array().pes() as f64;
+    let outputs = (d.y * d.x * d.k) as f64;
+    let inputs = (d.y * d.x * d.c) as f64 / (d.stride * d.stride).max(1) as f64;
+    let weights = (d.k * d.c * d.r * d.s) as f64;
+
+    // Every MAC reads two operands from RF and updates an accumulator.
+    let rf_accesses = 3.0 * macs;
+
+    let output_tiles = (outputs / pes).ceil().max(1.0);
+    let buffer_accesses = match acc.dataflow() {
+        Dataflow::OutputStationary => {
+            // Weights re-fetched per output tile; inputs read once per
+            // tile row (neighbour shifting amortizes the rest); outputs
+            // written once.
+            weights * output_tiles + inputs + outputs
+        }
+        Dataflow::WeightStationary => {
+            // Weights once; psums round-trip per reduction slice of C; the
+            // input is broadcast (read once per element).
+            let c_slices = (d.c as f64 / acc.array().cols() as f64).ceil().max(1.0);
+            weights + 2.0 * outputs * c_slices + inputs
+        }
+        Dataflow::RowStationary => {
+            // Row reuse keeps both weights and psums local longer.
+            weights * output_tiles.sqrt() + outputs + inputs
+        }
+    };
+
+    // Everything streams through DRAM once per frame (no cross-frame
+    // caching of activations; weights resident after first load are still
+    // charged once per frame for a conservative bound).
+    let dram_accesses = weights + inputs + outputs;
+
+    EnergyBreakdown {
+        mac: Joules::from_picojoules(macs * costs.mac_pj),
+        rf: Joules::from_picojoules(rf_accesses * costs.rf_pj),
+        buffer: Joules::from_picojoules(buffer_accesses * costs.buffer_pj),
+        dram: Joules::from_picojoules(dram_accesses * costs.dram_pj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_dnn::OpKind;
+    use npu_tensor::TensorShape;
+
+    fn conv() -> Layer {
+        Layer::new(
+            "conv",
+            OpKind::Conv2d {
+                in_ch: 224,
+                out_ch: 224,
+                kernel: (3, 3),
+                stride: 1,
+            },
+            TensorShape::nchw(1, 224, 90, 160),
+        )
+    }
+
+    fn dense() -> Layer {
+        Layer::intrinsic(
+            "qkv",
+            OpKind::Dense {
+                tokens: 12_800,
+                in_features: 256,
+                out_features: 768,
+            },
+        )
+    }
+
+    #[test]
+    fn ws_buffer_energy_beats_os_on_convs() {
+        // The mechanism behind the paper's 1.55x WS conv-energy gain:
+        // output-stationary re-fetches weights per output tile.
+        let c = AccessEnergies::default();
+        let os = breakdown(&conv(), &Accelerator::shidiannao_like(256), &c);
+        let ws = breakdown(&conv(), &Accelerator::nvdla_like(256), &c);
+        assert!(
+            ws.buffer < os.buffer,
+            "ws {} vs os {}",
+            ws.buffer,
+            os.buffer
+        );
+    }
+
+    #[test]
+    fn token_ops_are_streaming_bound_under_both_dataflows() {
+        // For token-shaped ops the weight working set exceeds any on-PE
+        // residency, so both dataflows are buffer-streaming bound and the
+        // per-MAC energy is far above the conv-class one. The OS-vs-WS
+        // *ordering* on token ops comes from the fitted profiles, not from
+        // this access-count model (see module docs).
+        let c = AccessEnergies::default();
+        let macs = dense().macs().as_f64();
+        let os = breakdown(&dense(), &Accelerator::shidiannao_like(256), &c);
+        let os_conv = breakdown(&conv(), &Accelerator::shidiannao_like(256), &c);
+        assert!(
+            os.per_mac_pj(macs) > os_conv.per_mac_pj(conv().macs().as_f64()),
+            "token ops must look worse per MAC"
+        );
+    }
+
+    #[test]
+    fn per_mac_magnitude_matches_fitted_profiles() {
+        // The fitted conv coefficient is 4.0 pJ/MAC (OS); the mechanistic
+        // count should land in the same decade.
+        let c = AccessEnergies::default();
+        let os = breakdown(&conv(), &Accelerator::shidiannao_like(256), &c);
+        let per_mac = os.per_mac_pj(conv().macs().as_f64());
+        assert!((1.0..12.0).contains(&per_mac), "{per_mac} pJ/MAC");
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let c = AccessEnergies::default();
+        let b = breakdown(&conv(), &Accelerator::shidiannao_like(256), &c);
+        let sum = b.mac + b.rf + b.buffer + b.dram;
+        assert_eq!(b.total(), sum);
+        assert!(b.total().as_joules() > 0.0);
+    }
+}

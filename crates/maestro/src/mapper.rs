@@ -1,0 +1,140 @@
+//! Array-geometry exploration: how much of a dataflow's behaviour is the
+//! array *aspect ratio*?
+//!
+//! The paper's OS chiplets are square (16×16), which is exactly what
+//! starves token-shaped operands down to one column. This module sweeps
+//! rectangular geometries at a fixed PE budget and reports the best
+//! mapping occupancy per layer — quantifying the "column starvation is an
+//! aspect-ratio artifact" hypothesis (an extension study; the paper keeps
+//! Simba's square arrays).
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::Layer;
+use npu_tensor::Hertz;
+
+use crate::accelerator::Dataflow;
+use crate::mapping;
+use crate::pe_array::PeArray;
+
+/// One geometry's occupancy for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometryPoint {
+    /// Array rows.
+    pub rows: u64,
+    /// Array columns.
+    pub cols: u64,
+    /// Average busy PEs under the dataflow's spatial mapping.
+    pub active_pes: f64,
+}
+
+/// Enumerates all `rows × cols = pes` factorizations (rows ≤ cols and the
+/// transposes), computing the mapping occupancy of `layer` on each.
+pub fn geometry_sweep(
+    layer: &Layer,
+    df: Dataflow,
+    pes: u64,
+    frequency: Hertz,
+) -> Vec<GeometryPoint> {
+    let mut out = Vec::new();
+    let mut push = |rows: u64, cols: u64| {
+        let array = PeArray::new(rows, cols).with_frequency(frequency);
+        out.push(GeometryPoint {
+            rows,
+            cols,
+            active_pes: mapping::active_pes(df, layer.dims(), &array),
+        });
+    };
+    let mut r = 1;
+    while r * r <= pes {
+        if pes % r == 0 {
+            push(r, pes / r);
+            if r != pes / r {
+                push(pes / r, r);
+            }
+        }
+        r += 1;
+    }
+    out.sort_by(|a, b| {
+        b.active_pes
+            .partial_cmp(&a.active_pes)
+            .expect("occupancy is finite")
+            .then(a.rows.cmp(&b.rows))
+    });
+    out
+}
+
+/// The geometry maximizing mapping occupancy for a layer.
+pub fn best_geometry(layer: &Layer, df: Dataflow, pes: u64, frequency: Hertz) -> GeometryPoint {
+    geometry_sweep(layer, df, pes, frequency)
+        .into_iter()
+        .next()
+        .expect("at least the 1 x pes geometry exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_dnn::OpKind;
+    use npu_tensor::TensorShape;
+
+    fn qkv() -> Layer {
+        Layer::intrinsic(
+            "qkv",
+            OpKind::Dense {
+                tokens: 12_800,
+                in_features: 256,
+                out_features: 768,
+            },
+        )
+    }
+
+    fn conv() -> Layer {
+        Layer::new(
+            "conv",
+            OpKind::Conv2d {
+                in_ch: 224,
+                out_ch: 224,
+                kernel: (3, 3),
+                stride: 1,
+            },
+            TensorShape::nchw(1, 224, 90, 160),
+        )
+    }
+
+    #[test]
+    fn tall_arrays_fix_os_token_starvation() {
+        // The square 16x16 array keeps 16 PEs busy on token ops; a 256x1
+        // column array keeps all 256 busy — the starvation is an
+        // aspect-ratio artifact of the 2-D output mapping.
+        let best = best_geometry(&qkv(), Dataflow::OutputStationary, 256, Hertz::default());
+        assert_eq!((best.rows, best.cols), (256, 1));
+        assert!((best.active_pes - 256.0).abs() < 1e-9);
+
+        let square = geometry_sweep(&qkv(), Dataflow::OutputStationary, 256, Hertz::default())
+            .into_iter()
+            .find(|g| g.rows == 16 && g.cols == 16)
+            .unwrap();
+        assert!((square.active_pes - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_is_near_optimal_for_spatial_convs() {
+        let best = best_geometry(&conv(), Dataflow::OutputStationary, 256, Hertz::default());
+        let square = geometry_sweep(&conv(), Dataflow::OutputStationary, 256, Hertz::default())
+            .into_iter()
+            .find(|g| g.rows == 16 && g.cols == 16)
+            .unwrap();
+        assert!(square.active_pes >= 0.9 * best.active_pes);
+    }
+
+    #[test]
+    fn sweep_covers_all_factorizations() {
+        let sweep = geometry_sweep(&conv(), Dataflow::WeightStationary, 256, Hertz::default());
+        // 256 = 2^8 has 9 divisors -> 9 geometries incl. transposes.
+        assert_eq!(sweep.len(), 9);
+        for g in &sweep {
+            assert_eq!(g.rows * g.cols, 256);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph-level cost rollups.
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::{Graph, LayerId, OpClass};
+use npu_tensor::{Joules, MacCount, Seconds};
+
+use crate::accelerator::Accelerator;
+use crate::cost::{CostModel, LayerCost};
+
+/// Per-op-class latency/energy breakdown of a graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    entries: Vec<(OpClass, Seconds, Joules)>,
+}
+
+impl ClassBreakdown {
+    /// Latency attributed to the class.
+    pub fn latency(&self, class: OpClass) -> Seconds {
+        self.entries
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, l, _)| *l)
+            .unwrap_or(Seconds::ZERO)
+    }
+
+    /// Energy attributed to the class.
+    pub fn energy(&self, class: OpClass) -> Joules {
+        self.entries
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, _, e)| *e)
+            .unwrap_or(Joules::ZERO)
+    }
+
+    /// Iterates non-zero classes.
+    pub fn iter(&self) -> impl Iterator<Item = &(OpClass, Seconds, Joules)> {
+        self.entries.iter()
+    }
+}
+
+/// The cost of executing a whole graph serially on one accelerator —
+/// MAESTRO's per-network evaluation mode, used for the paper's Figs. 3–4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphCost {
+    per_layer: Vec<(LayerId, LayerCost)>,
+    serial_latency: Seconds,
+    energy: Joules,
+    macs: MacCount,
+    breakdown: ClassBreakdown,
+}
+
+impl GraphCost {
+    /// Per-layer costs in topological order.
+    pub fn per_layer(&self) -> &[(LayerId, LayerCost)] {
+        &self.per_layer
+    }
+
+    /// Cost of one layer.
+    pub fn layer(&self, id: LayerId) -> Option<&LayerCost> {
+        self.per_layer
+            .iter()
+            .find(|(l, _)| *l == id)
+            .map(|(_, c)| c)
+    }
+
+    /// Serial (sum over layers) latency: a single accelerator executes
+    /// layers one at a time.
+    pub fn serial_latency(&self) -> Seconds {
+        self.serial_latency
+    }
+
+    /// Total compute energy.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total MACs.
+    pub fn macs(&self) -> MacCount {
+        self.macs
+    }
+
+    /// Per-class breakdown.
+    pub fn breakdown(&self) -> &ClassBreakdown {
+        &self.breakdown
+    }
+
+    /// Time-weighted average active PEs over the serial execution.
+    pub fn mean_active_pes(&self) -> f64 {
+        if self.serial_latency.is_zero() {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .per_layer
+            .iter()
+            .map(|(_, c)| c.active_pes * c.latency.as_secs())
+            .sum();
+        weighted / self.serial_latency.as_secs()
+    }
+}
+
+/// Evaluates a whole graph serially on one accelerator.
+pub fn graph_cost(model: &dyn CostModel, graph: &Graph, acc: &Accelerator) -> GraphCost {
+    let mut per_layer = Vec::with_capacity(graph.len());
+    let mut serial = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    let mut macs = MacCount::ZERO;
+    let mut by_class: Vec<(OpClass, Seconds, Joules)> = OpClass::ALL
+        .iter()
+        .map(|&c| (c, Seconds::ZERO, Joules::ZERO))
+        .collect();
+
+    for (id, layer) in graph.iter() {
+        let cost = model.layer_cost(layer, acc);
+        serial += cost.latency;
+        energy += cost.energy;
+        macs += cost.macs;
+        let entry = by_class
+            .iter_mut()
+            .find(|(c, _, _)| *c == layer.class())
+            .expect("all classes present");
+        entry.1 += cost.latency;
+        entry.2 += cost.energy;
+        per_layer.push((id, cost));
+    }
+
+    by_class.retain(|(_, l, _)| !l.is_zero());
+    GraphCost {
+        per_layer,
+        serial_latency: serial,
+        energy,
+        macs,
+        breakdown: ClassBreakdown { entries: by_class },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FittedMaestro;
+    use npu_dnn::models::attention::{fusion_block, FusionConfig};
+    use npu_dnn::models::{fe_bfpn, BifpnConfig, FeConfig};
+
+    #[test]
+    fn fe_graph_cost_sums_layers() {
+        let g = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+        let acc = Accelerator::shidiannao_like(256);
+        let gc = graph_cost(&FittedMaestro::new(), &g, &acc);
+        assert_eq!(gc.per_layer().len(), g.len());
+        let manual: Seconds = gc.per_layer().iter().map(|(_, c)| c.latency).sum();
+        assert!((gc.serial_latency().as_secs() - manual.as_secs()).abs() < 1e-12);
+        assert_eq!(gc.macs(), g.total_macs());
+    }
+
+    #[test]
+    fn fe_is_conv_dominated() {
+        let g = fe_bfpn(&FeConfig::default(), &BifpnConfig::default());
+        let acc = Accelerator::shidiannao_like(256);
+        let gc = graph_cost(&FittedMaestro::new(), &g, &acc);
+        let conv_share =
+            gc.breakdown().latency(OpClass::Conv).as_secs() / gc.serial_latency().as_secs();
+        assert!(conv_share > 0.95, "got {conv_share}");
+    }
+
+    #[test]
+    fn fusion_is_linear_dominated_and_mean_active_is_low() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let acc = Accelerator::shidiannao_like(256);
+        let gc = graph_cost(&FittedMaestro::new(), &g, &acc);
+        let lin = gc.breakdown().latency(OpClass::Linear).as_secs();
+        assert!(lin / gc.serial_latency().as_secs() > 0.9);
+        // ~16 active PEs of 256.
+        assert!(gc.mean_active_pes() < 20.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! A chiplet: an accelerator instance in a package slot.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_maestro::Accelerator;
+use npu_noc::NodeId;
+
+/// Identifier of a chiplet within one package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChipletId(pub u32);
+
+impl ChipletId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An accelerator chiplet placed on a mesh node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chiplet {
+    id: ChipletId,
+    node: NodeId,
+    accelerator: Accelerator,
+}
+
+impl Chiplet {
+    /// Creates a chiplet.
+    pub fn new(id: ChipletId, node: NodeId, accelerator: Accelerator) -> Self {
+        Chiplet {
+            id,
+            node,
+            accelerator,
+        }
+    }
+
+    /// Chiplet id.
+    pub fn id(&self) -> ChipletId {
+        self.id
+    }
+
+    /// Mesh node the chiplet occupies.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The accelerator in this slot.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// Replaces the accelerator (heterogeneous integration).
+    pub fn set_accelerator(&mut self, acc: Accelerator) {
+        self.accelerator = acc;
+    }
+}
+
+impl fmt::Display for Chiplet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} [{}]", self.id, self.node, self.accelerator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_noc::Mesh2d;
+
+    #[test]
+    fn accessors() {
+        let mesh = Mesh2d::new(2, 2);
+        let c = Chiplet::new(
+            ChipletId(3),
+            mesh.node(1, 1),
+            Accelerator::shidiannao_like(256),
+        );
+        assert_eq!(c.id(), ChipletId(3));
+        assert_eq!(c.accelerator().array().pes(), 256);
+        assert_eq!(c.id().to_string(), "c3");
+    }
+
+    #[test]
+    fn swap_accelerator() {
+        let mesh = Mesh2d::new(1, 1);
+        let mut c = Chiplet::new(
+            ChipletId(0),
+            mesh.node(0, 0),
+            Accelerator::shidiannao_like(256),
+        );
+        c.set_accelerator(Accelerator::nvdla_like(256));
+        assert_eq!(
+            c.accelerator().dataflow(),
+            npu_maestro::Dataflow::WeightStationary
+        );
+    }
+}

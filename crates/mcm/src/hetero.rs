@@ -1,0 +1,70 @@
+//! Heterogeneous chiplet integration.
+//!
+//! The paper's Table I studies Het(2)/Het(4): replacing 2 or 4 of the
+//! trunks-quadrant OS chiplets with NVDLA-like WS chiplets to harvest the
+//! WS energy advantage on conv-class trunk layers.
+
+use npu_maestro::{Accelerator, Dataflow};
+
+use crate::chiplet::ChipletId;
+use crate::package::McmPackage;
+
+/// Returns a copy of the package with the given chiplets replaced by
+/// NVDLA-like WS accelerators of the same PE count.
+pub fn with_ws_chiplets(pkg: &McmPackage, ids: &[ChipletId]) -> McmPackage {
+    let mut out = pkg.clone();
+    for &id in ids {
+        let pes = out.chiplet(id).accelerator().array().pes();
+        out.chiplet_mut(id)
+            .set_accelerator(Accelerator::nvdla_like(pes));
+    }
+    out
+}
+
+/// Chooses `k` chiplets of a region to convert to WS: the region's last
+/// chiplets (deepest in the quadrant, as marked in the paper's Fig. 8).
+pub fn het_candidates(region: &[ChipletId], k: usize) -> Vec<ChipletId> {
+    region.iter().rev().take(k).copied().collect()
+}
+
+/// Counts WS chiplets in the package.
+pub fn ws_count(pkg: &McmPackage) -> usize {
+    pkg.chiplets()
+        .iter()
+        .filter(|c| c.accelerator().dataflow() == Dataflow::WeightStationary)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::stage_regions;
+
+    #[test]
+    fn het2_converts_two() {
+        let pkg = McmPackage::simba_6x6();
+        let trunks = &stage_regions(&pkg, 4)[3];
+        let het = with_ws_chiplets(&pkg, &het_candidates(trunks, 2));
+        assert_eq!(ws_count(&het), 2);
+        assert_eq!(het.total_pes(), 9216);
+    }
+
+    #[test]
+    fn ws_chiplets_are_in_the_requested_region() {
+        let pkg = McmPackage::simba_6x6();
+        let trunks = &stage_regions(&pkg, 4)[3];
+        let picks = het_candidates(trunks, 4);
+        assert_eq!(picks.len(), 4);
+        for p in &picks {
+            assert!(trunks.contains(p));
+        }
+    }
+
+    #[test]
+    fn original_package_untouched() {
+        let pkg = McmPackage::simba_6x6();
+        let trunks = &stage_regions(&pkg, 4)[3];
+        let _het = with_ws_chiplets(&pkg, &het_candidates(trunks, 2));
+        assert_eq!(ws_count(&pkg), 0);
+    }
+}

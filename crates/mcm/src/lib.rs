@@ -1,0 +1,32 @@
+//! Multi-chiplet-module (MCM) package model.
+//!
+//! An [`McmPackage`] is a mesh of chiplet slots, each holding an
+//! accelerator instance, together with NoP link parameters and package-edge
+//! DRAM ports. Presets cover every hardware point of the paper:
+//!
+//! * [`McmPackage::simba_6x6`] — 36 × 256-PE OS chiplets (the paper's
+//!   NPU, equal in PEs to the Tesla FSD NPU),
+//! * [`McmPackage::monolithic_9216`] / [`McmPackage::dual_4608`] /
+//!   [`McmPackage::quad_2304`] — the Table II baselines,
+//! * [`McmPackage::dual_npu_12x6`] — the 72-chiplet two-NPU study (Fig. 10),
+//! * [`hetero::with_ws_chiplets`] — heterogeneous Het(k) integration
+//!   (Table I).
+//!
+//! # Examples
+//!
+//! ```
+//! use npu_mcm::McmPackage;
+//!
+//! let pkg = McmPackage::simba_6x6();
+//! assert_eq!(pkg.len(), 36);
+//! assert_eq!(pkg.total_pes(), 9216); // == Tesla FSD NPU PE budget
+//! ```
+
+pub mod chiplet;
+pub mod hetero;
+pub mod package;
+pub mod quadrant;
+
+pub use chiplet::{Chiplet, ChipletId};
+pub use package::McmPackage;
+pub use quadrant::stage_regions;

@@ -1,0 +1,120 @@
+//! Quadrant / region partitioning of a package.
+//!
+//! The paper's initial allocation (§IV) gives each of the four perception
+//! stages its own quadrant of the 6×6 package. The pipeline flows in a
+//! ring: FE (north-west, nearest the DRAM ports) → S_FUSE (north-east) →
+//! T_FUSE (south-east) → trunks (south-west).
+
+use npu_noc::Mesh2d;
+
+use crate::chiplet::ChipletId;
+use crate::package::McmPackage;
+
+/// Splits the package into `n` stage regions.
+///
+/// For `n = 4` on an even mesh this produces the paper's quadrants in
+/// pipeline-ring order; for other `n` (or tiny baseline packages) chiplets
+/// are dealt round-robin so every stage still gets hardware.
+pub fn stage_regions(pkg: &McmPackage, n: usize) -> Vec<Vec<ChipletId>> {
+    assert!(n > 0, "need at least one region");
+    let mesh = pkg.mesh();
+    if n == 4 && mesh.width() >= 2 && mesh.height() >= 2 && pkg.len() >= 4 {
+        quadrant_ring(pkg, mesh)
+    } else {
+        round_robin(pkg, n)
+    }
+}
+
+/// Quadrants in ring order: NW, NE, SE, SW.
+fn quadrant_ring(pkg: &McmPackage, mesh: Mesh2d) -> Vec<Vec<ChipletId>> {
+    let (hx, hy) = (mesh.width() / 2, mesh.height() / 2);
+    let mut regions = vec![Vec::new(); 4];
+    for id in pkg.ids() {
+        let c = mesh.coord(pkg.chiplet(id).node());
+        let west = c.x < hx;
+        let north = c.y < hy;
+        let region = match (north, west) {
+            (true, true) => 0,   // NW: FE, closest to DRAM
+            (true, false) => 1,  // NE: S_FUSE
+            (false, false) => 2, // SE: T_FUSE
+            (false, true) => 3,  // SW: trunks
+        };
+        regions[region].push(id);
+    }
+    regions
+}
+
+fn round_robin(pkg: &McmPackage, n: usize) -> Vec<Vec<ChipletId>> {
+    let mut regions = vec![Vec::new(); n];
+    for (i, id) in pkg.ids().enumerate() {
+        regions[i % n].push(id);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simba_quadrants_are_nine_each() {
+        let pkg = McmPackage::simba_6x6();
+        let regions = stage_regions(&pkg, 4);
+        assert_eq!(regions.len(), 4);
+        for r in &regions {
+            assert_eq!(r.len(), 9);
+        }
+        // Disjoint cover.
+        let mut all: Vec<_> = regions.concat();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 36);
+    }
+
+    #[test]
+    fn fe_quadrant_is_nearest_dram() {
+        let pkg = McmPackage::simba_6x6();
+        let regions = stage_regions(&pkg, 4);
+        let mean_dram = |r: &[ChipletId]| {
+            r.iter().map(|&c| pkg.dram_hops(c) as f64).sum::<f64>() / r.len() as f64
+        };
+        assert!(mean_dram(&regions[0]) < mean_dram(&regions[1]));
+        assert!(mean_dram(&regions[0]) < mean_dram(&regions[2]));
+    }
+
+    #[test]
+    fn ring_neighbors_are_adjacent() {
+        // The mean hop distance between consecutive stage regions must be
+        // small (the placement argument behind Figs. 6-7).
+        let pkg = McmPackage::simba_6x6();
+        let regions = stage_regions(&pkg, 4);
+        let mean_hops = |a: &[ChipletId], b: &[ChipletId]| {
+            let mut sum = 0.0;
+            for &x in a {
+                for &y in b {
+                    sum += pkg.hops(x, y) as f64;
+                }
+            }
+            sum / (a.len() * b.len()) as f64
+        };
+        let ring = mean_hops(&regions[0], &regions[1]);
+        let diagonal = mean_hops(&regions[0], &regions[2]);
+        assert!(ring < diagonal);
+    }
+
+    #[test]
+    fn baselines_get_round_robin() {
+        let pkg = McmPackage::quad_2304();
+        let regions = stage_regions(&pkg, 3);
+        assert_eq!(regions.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn dual_npu_quadrants_are_18() {
+        let pkg = McmPackage::dual_npu_12x6();
+        let regions = stage_regions(&pkg, 4);
+        for r in &regions {
+            assert_eq!(r.len(), 18);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! NoP link parameters.
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::{Joules, Seconds};
+
+/// Physical parameters of one NoP link/router hop.
+///
+/// # Examples
+///
+/// ```
+/// use npu_noc::LinkParams;
+/// let l = LinkParams::simba_28nm();
+/// assert_eq!(l.bandwidth_bytes_per_sec, 100.0e9);
+/// assert_eq!(l.hop_latency.as_micros(), 0.035);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Serialization bandwidth per chiplet port, bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Router + link latency per hop.
+    pub hop_latency: Seconds,
+    /// Transmission energy per bit per hop.
+    pub energy_per_bit: Joules,
+}
+
+impl LinkParams {
+    /// The paper's NoP parameters: Simba microarchitecture scaled to 28 nm
+    /// (§IV-D): 100 GB/s/chiplet, 35 ns/hop, 2.04 pJ/bit.
+    pub fn simba_28nm() -> Self {
+        LinkParams {
+            bandwidth_bytes_per_sec: 100.0e9,
+            hop_latency: Seconds::from_nanos(35.0),
+            energy_per_bit: Joules::from_picojoules(2.04),
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::simba_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_simba() {
+        assert_eq!(LinkParams::default(), LinkParams::simba_28nm());
+    }
+}

@@ -1,0 +1,47 @@
+//! Package-edge DRAM ports.
+//!
+//! Sensor inputs and weights enter the package through DRAM/PHY ports on
+//! the west edge (matching Simba's package organization where the
+//! package-level I/O sits on one side). A chiplet's DRAM path is the XY
+//! route to its row's west-edge node plus one hop into the port.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Mesh2d, NodeId};
+
+/// DRAM port placement on the package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramPorts {
+    mesh: Mesh2d,
+}
+
+impl DramPorts {
+    /// West-edge ports for the given mesh.
+    pub fn west_edge(mesh: Mesh2d) -> Self {
+        DramPorts { mesh }
+    }
+
+    /// Hop count from a node to its nearest DRAM port (west edge of its
+    /// row, plus one hop into the port).
+    pub fn hops_to_dram(&self, n: NodeId) -> u64 {
+        self.mesh.coord(n).x as u64 + 1
+    }
+
+    /// The mesh this placement refers to.
+    pub fn mesh(&self) -> Mesh2d {
+        self.mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn west_column_is_one_hop() {
+        let mesh = Mesh2d::new(6, 6);
+        let ports = DramPorts::west_edge(mesh);
+        assert_eq!(ports.hops_to_dram(mesh.node(0, 3)), 1);
+        assert_eq!(ports.hops_to_dram(mesh.node(5, 0)), 6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-link traffic aggregation.
+//!
+//! The paper's NoP analysis (Fig. 9) tracks per-layer transfer costs and
+//! observes that gathers of sharded outputs raise traffic on the links
+//! around the destination. This module aggregates routed bytes per
+//! directed mesh link so schedules can be checked for hotspots.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::{Bytes, Seconds};
+
+use crate::link::LinkParams;
+use crate::topology::{Mesh2d, NodeId};
+
+/// Aggregated bytes per directed link.
+///
+/// # Examples
+///
+/// ```
+/// use npu_noc::{Mesh2d, TrafficMatrix};
+/// use npu_tensor::Bytes;
+///
+/// let mesh = Mesh2d::new(6, 6);
+/// let mut t = TrafficMatrix::new(mesh);
+/// t.add_route(mesh.node(0, 0), mesh.node(2, 0), Bytes::from_kib(4));
+/// assert_eq!(t.max_link_load().as_u64(), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    mesh: Mesh2d,
+    links: HashMap<(NodeId, NodeId), Bytes>,
+    total: Bytes,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty traffic matrix over a mesh.
+    pub fn new(mesh: Mesh2d) -> Self {
+        TrafficMatrix {
+            mesh,
+            links: HashMap::new(),
+            total: Bytes::ZERO,
+        }
+    }
+
+    /// Routes `bytes` from `src` to `dst` along the XY path, accumulating
+    /// load on every traversed link.
+    pub fn add_route(&mut self, src: NodeId, dst: NodeId, bytes: Bytes) {
+        let path = self.mesh.xy_route(src, dst);
+        for pair in path.windows(2) {
+            *self.links.entry((pair[0], pair[1])).or_insert(Bytes::ZERO) += bytes;
+        }
+        if path.len() > 1 {
+            self.total += bytes;
+        }
+    }
+
+    /// The heaviest directed-link load.
+    pub fn max_link_load(&self) -> Bytes {
+        self.links.values().copied().max().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Total payload bytes that crossed at least one link.
+    pub fn total_routed(&self) -> Bytes {
+        self.total
+    }
+
+    /// Number of links with non-zero load.
+    pub fn active_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Contention factor over a pipelining window: how much the hottest
+    /// link exceeds what the link can carry in `window`. Values ≤ 1 mean
+    /// the NoP is uncongested (the paper finds NoP costs are two orders of
+    /// magnitude below compute).
+    pub fn contention_factor(&self, window: Seconds, link: &LinkParams) -> f64 {
+        if window.is_zero() {
+            return f64::INFINITY;
+        }
+        let capacity = link.bandwidth_bytes_per_sec * window.as_secs();
+        self.max_link_load().as_f64() / capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapping_routes_accumulate() {
+        let mesh = Mesh2d::new(6, 6);
+        let mut t = TrafficMatrix::new(mesh);
+        // Two routes sharing the (0,0)->(1,0) link.
+        t.add_route(mesh.node(0, 0), mesh.node(2, 0), Bytes::new(100));
+        t.add_route(mesh.node(0, 0), mesh.node(1, 0), Bytes::new(50));
+        assert_eq!(t.max_link_load(), Bytes::new(150));
+        assert_eq!(t.total_routed(), Bytes::new(150));
+        assert_eq!(t.active_links(), 2);
+    }
+
+    #[test]
+    fn self_route_adds_nothing() {
+        let mesh = Mesh2d::new(6, 6);
+        let mut t = TrafficMatrix::new(mesh);
+        t.add_route(mesh.node(3, 3), mesh.node(3, 3), Bytes::from_mib(10));
+        assert_eq!(t.max_link_load(), Bytes::ZERO);
+        assert_eq!(t.total_routed(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn contention_factor_sane() {
+        let mesh = Mesh2d::new(6, 6);
+        let mut t = TrafficMatrix::new(mesh);
+        t.add_route(mesh.node(0, 0), mesh.node(5, 0), Bytes::new(1_000_000));
+        let link = LinkParams::simba_28nm();
+        // 1 MB in an 82 ms window over a 100 GB/s link: ~1.2e-4.
+        let f = t.contention_factor(Seconds::from_millis(82.0), &link);
+        assert!(f < 1e-3, "got {f}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulation statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_mcm::ChipletId;
+use npu_tensor::Seconds;
+
+use crate::engine::SimConfig;
+
+/// Measured behaviour of a simulated pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Mean inter-departure interval of frames in steady state (the
+    /// empirical pipelining latency).
+    pub steady_interval: Seconds,
+    /// Mean per-frame latency (arrival → completion) in steady state.
+    pub mean_latency: Seconds,
+    /// Worst per-frame latency observed.
+    pub max_latency: Seconds,
+    /// Sustained throughput in frames/second.
+    pub throughput_fps: f64,
+    /// Frames measured (after warm-up trimming).
+    pub measured_frames: usize,
+    /// Per-chiplet busy fraction over the whole run.
+    busy: BTreeMap<ChipletId, f64>,
+}
+
+impl SimReport {
+    /// Builds the report from raw per-frame arrival/completion times and
+    /// per-chiplet busy totals.
+    pub(crate) fn from_run(
+        arrivals: &[f64],
+        completions: &[f64],
+        busy_time: &BTreeMap<ChipletId, f64>,
+        cfg: &SimConfig,
+    ) -> SimReport {
+        let n = completions.len();
+        let lo = cfg.warmup.min(n.saturating_sub(1));
+        let hi = n.saturating_sub(1);
+        let window = &completions[lo..=hi.max(lo)];
+
+        let steady_interval = if window.len() >= 2 {
+            Seconds::new((window[window.len() - 1] - window[0]) / (window.len() - 1) as f64)
+        } else {
+            Seconds::new(completions[0] - arrivals[0])
+        };
+
+        let latencies: Vec<f64> = (lo..n).map(|i| completions[i] - arrivals[i]).collect();
+        let mean_latency =
+            Seconds::new(latencies.iter().sum::<f64>() / latencies.len().max(1) as f64);
+        let max_latency = Seconds::new(latencies.iter().copied().fold(0.0, f64::max));
+
+        let makespan = completions.iter().copied().fold(0.0, f64::max);
+        let busy = busy_time
+            .iter()
+            .map(|(&c, &b)| (c, if makespan > 0.0 { b / makespan } else { 0.0 }))
+            .collect();
+
+        SimReport {
+            steady_interval,
+            mean_latency,
+            max_latency,
+            throughput_fps: if steady_interval.is_zero() {
+                0.0
+            } else {
+                1.0 / steady_interval.as_secs()
+            },
+            measured_frames: window.len(),
+            busy,
+        }
+    }
+
+    /// Busy fraction of a chiplet over the run, if it hosted any work.
+    pub fn busy_fraction(&self, chiplet: ChipletId) -> Option<f64> {
+        self.busy.get(&chiplet).copied()
+    }
+
+    /// The busiest chiplet and its busy fraction.
+    pub fn bottleneck(&self) -> Option<(ChipletId, f64)> {
+        self.busy
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(&c, &b)| (c, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let arrivals = vec![0.0, 0.0, 0.0, 0.0];
+        let completions = vec![1.0, 2.0, 3.0, 4.0];
+        let mut busy = BTreeMap::new();
+        busy.insert(ChipletId(0), 4.0);
+        let cfg = SimConfig::saturated(4);
+        // warmup = min(4,4) = 4 -> clamped to n-1 = 3: window of 1.
+        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        assert_eq!(r.measured_frames, 1);
+        assert!((r.busy_fraction(ChipletId(0)).unwrap() - 1.0).abs() < 1e-12);
+
+        let cfg = SimConfig {
+            warmup: 1,
+            ..SimConfig::saturated(4)
+        };
+        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
+        assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12);
+        assert_eq!(r.bottleneck().unwrap().0, ChipletId(0));
+    }
+}

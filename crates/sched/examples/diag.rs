@@ -1,0 +1,71 @@
+use npu_dnn::{PerceptionConfig, StageKind};
+use npu_maestro::FittedMaestro;
+use npu_mcm::McmPackage;
+use npu_sched::dse::{explore_trunks, DseConfig, TrunkVariant};
+use npu_sched::{evaluate, MatcherConfig, ThroughputMatcher};
+use npu_tensor::Dtype;
+
+fn main() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let matcher = ThroughputMatcher::new(&model, MatcherConfig::default());
+
+    let init = matcher.initial_schedule(&pipeline, &pkg);
+    let r0 = evaluate(&init, &pkg, &model, Dtype::Fp16);
+    println!("INITIAL pipe={} e2e={}", r0.pipe, r0.e2e);
+    for s in &r0.per_stage {
+        println!(
+            "  {} pipe={} e2e={} ce={} ne={}",
+            s.kind, s.pipe, s.e2e, s.compute_energy, s.nop_energy
+        );
+    }
+
+    let out = matcher.match_throughput(&pipeline, &pkg);
+    println!(
+        "\nMATCHED pipe={} e2e={} util={:.3}",
+        out.report.pipe, out.report.e2e, out.report.utilization
+    );
+    for s in &out.report.per_stage {
+        println!(
+            "  {} pipe={} e2e={} E={}",
+            s.kind,
+            s.pipe,
+            s.e2e,
+            s.energy()
+        );
+    }
+    println!("\nTRACE:");
+    for t in &out.trace {
+        println!(
+            "  {} -> pipe {} (free {})",
+            t.description, t.pipe, t.chiplets_remaining
+        );
+    }
+    println!("\n{}", out.schedule);
+
+    println!("busy:");
+    for (c, b) in &out.report.busy {
+        println!("  {c}: {b}");
+    }
+
+    for v in [
+        TrunkVariant::OsOnly,
+        TrunkVariant::WsOnly,
+        TrunkVariant::Het(2),
+        TrunkVariant::Het(4),
+    ] {
+        let r = explore_trunks(&pipeline, &pkg, v, &model, DseConfig::default());
+        println!(
+            "\nDSE {}: pipe={} e2e={} E={} EDP={} feasible={} searched={}",
+            r.variant,
+            r.report.pipe,
+            r.report.e2e,
+            r.report.energy(),
+            r.report.edp(),
+            r.feasible,
+            r.configs_searched
+        );
+    }
+    let _ = StageKind::Trunks;
+}

@@ -1,0 +1,92 @@
+//! Context-aware lane computing (paper §V-C, Fig. 11).
+//!
+//! The lane-prediction trunk only processes grid regions deemed relevant;
+//! this module sweeps the retained-context fraction and reports the lane
+//! trunk's single-chiplet latency and energy, reproducing the Fig. 11
+//! trade-off (≈60% retention meets the 82 ms pipelining constraint).
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::models::lane::{lane_trunk, LaneConfig};
+use npu_maestro::{graph_cost, Accelerator, CostModel};
+use npu_tensor::{Joules, Seconds};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextPoint {
+    /// Percent of grid context retained.
+    pub retained_pct: f64,
+    /// Lane trunk latency on one OS chiplet.
+    pub latency: Seconds,
+    /// Lane trunk energy.
+    pub energy: Joules,
+}
+
+/// Sweeps the retained-context fractions of Fig. 11 (100% → 10%).
+pub fn lane_context_sweep(
+    base: &LaneConfig,
+    model: &dyn CostModel,
+    acc: &Accelerator,
+) -> Vec<ContextPoint> {
+    [1.0, 0.9, 0.75, 0.6, 0.5, 0.4, 0.25, 0.1]
+        .iter()
+        .map(|&f| {
+            let graph = lane_trunk(&base.clone().with_context_fraction(f));
+            let cost = graph_cost(model, &graph, acc);
+            ContextPoint {
+                retained_pct: f * 100.0,
+                latency: cost.serial_latency(),
+                energy: cost.energy(),
+            }
+        })
+        .collect()
+}
+
+/// The largest retained fraction whose latency meets `constraint`, if any.
+pub fn max_feasible_retention(points: &[ContextPoint], constraint: Seconds) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.latency <= constraint)
+        .map(|p| p.retained_pct)
+        .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_maestro::FittedMaestro;
+
+    fn sweep() -> Vec<ContextPoint> {
+        lane_context_sweep(
+            &LaneConfig::default(),
+            &FittedMaestro::new(),
+            &Accelerator::shidiannao_like(256),
+        )
+    }
+
+    #[test]
+    fn latency_decreases_with_context() {
+        let pts = sweep();
+        for pair in pts.windows(2) {
+            assert!(pair[1].latency <= pair[0].latency);
+            assert!(pair[1].energy <= pair[0].energy);
+        }
+    }
+
+    #[test]
+    fn full_context_violates_82ms_and_60pct_meets_it() {
+        let pts = sweep();
+        let constraint = Seconds::from_millis(82.0);
+        assert!(
+            pts[0].latency > constraint,
+            "full context: {}",
+            pts[0].latency
+        );
+        let feasible = max_feasible_retention(&pts, constraint).unwrap();
+        // Paper: "Around 60% computing satisfies the latency constraint."
+        assert!(
+            (50.0..=75.0).contains(&feasible),
+            "feasible retention {feasible}%"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Naive longest-processing-time (LPT) scheduler — the ablation baseline
+//! for Algorithm 1.
+//!
+//! LPT ignores the pipeline's stage structure and sharding opportunities:
+//! it places whole layers, heaviest first, on the least-loaded chiplet.
+//! Comparing it against the throughput matcher quantifies how much of the
+//! paper's gain comes from *structure-aware sharding* rather than from
+//! mere load balancing (see `npu-experiments::ablations`).
+
+use npu_dnn::PerceptionPipeline;
+use npu_maestro::CostModel;
+use npu_mcm::{ChipletId, McmPackage};
+
+use crate::plan::{LayerPlan, ModelPlan, Schedule, StagePlan};
+
+/// Builds an LPT schedule: whole layers, no sharding, global least-loaded
+/// placement.
+pub fn lpt_schedule(
+    pipeline: &PerceptionPipeline,
+    pkg: &McmPackage,
+    model: &dyn CostModel,
+) -> Schedule {
+    let mut load: Vec<(ChipletId, f64)> = pkg.ids().map(|c| (c, 0.0)).collect();
+
+    // Collect every (stage, model-instance, layer) with its cost on the
+    // first chiplet's accelerator (homogeneous packages).
+    let ref_acc = pkg.chiplet(ChipletId(0)).accelerator();
+    struct Item {
+        stage: usize,
+        model: usize,
+        layer: npu_dnn::LayerId,
+        time: f64,
+    }
+    let mut skeleton: Vec<StagePlan> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+
+    for (si, stage) in pipeline.stages().iter().enumerate() {
+        let mut models = Vec::new();
+        for sm in stage.models() {
+            for inst in 0..sm.instances() {
+                let mi = models.len();
+                for (id, layer) in sm.graph().iter() {
+                    items.push(Item {
+                        stage: si,
+                        model: mi,
+                        layer: id,
+                        time: model.layer_cost(layer, ref_acc).latency.as_secs(),
+                    });
+                }
+                models.push(ModelPlan::on_single_chiplet(
+                    format!("{}#{inst}", sm.graph().name()),
+                    sm.graph().clone(),
+                    ChipletId(0),
+                ));
+            }
+        }
+        skeleton.push(StagePlan {
+            kind: stage.kind(),
+            models,
+            region: pkg.ids().collect(),
+        });
+    }
+
+    // Heaviest first onto the least-loaded chiplet.
+    items.sort_by(|a, b| b.time.partial_cmp(&a.time).expect("finite"));
+    for item in items {
+        let (idx, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+            .expect("non-empty package");
+        let chiplet = load[idx].0;
+        load[idx].1 += item.time;
+        let lp = skeleton[item.stage].models[item.model].layer_plan_mut(item.layer);
+        *lp = LayerPlan::single(lp.source.clone(), chiplet);
+    }
+
+    Schedule { stages: skeleton }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::throughput_match::{MatcherConfig, ThroughputMatcher};
+    use crate::validate::validate_schedule;
+    use npu_dnn::PerceptionConfig;
+    use npu_maestro::FittedMaestro;
+    use npu_tensor::Dtype;
+
+    #[test]
+    fn lpt_is_structurally_valid() {
+        let pipeline = PerceptionConfig::default().build();
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let s = lpt_schedule(&pipeline, &pkg, &model);
+        assert!(validate_schedule(&s, &pkg).is_empty());
+        // No sharding anywhere.
+        for stage in &s.stages {
+            for mp in &stage.models {
+                for lp in &mp.layers {
+                    assert_eq!(lp.parts(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_matching_beats_lpt() {
+        // The ablation claim: load balancing alone cannot break the
+        // T_FUSE FFN bottleneck — only sharding can.
+        let pipeline = PerceptionConfig::default().build();
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let lpt = evaluate(
+            &lpt_schedule(&pipeline, &pkg, &model),
+            &pkg,
+            &model,
+            Dtype::Fp16,
+        );
+        let matched = ThroughputMatcher::new(&model, MatcherConfig::default())
+            .match_throughput(&pipeline, &pkg);
+        assert!(
+            matched.report.pipe.as_secs() < lpt.pipe.as_secs() * 0.25,
+            "matcher {} vs LPT {}",
+            matched.report.pipe,
+            lpt.pipe
+        );
+    }
+}

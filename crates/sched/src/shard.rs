@@ -1,0 +1,256 @@
+//! Data-parallel layer sharding.
+//!
+//! The paper alleviates bottleneck layers by sharding them across chiplets
+//! (§IV-B): the S_FUSE FFN is replicated four-fold "each processing
+//! features from two FE+BFPNs", the T_FUSE FFN is distributed over up to
+//! 12 chiplets — "sharding is exhausted … as each temporal frame is
+//! processed independently on a separate chiplet".
+//!
+//! Sharding is data-parallel over the token / output-row axis: each shard
+//! holds a full copy of the weights (replication) and processes a slice of
+//! the tokens, so per-shard MACs divide ~evenly and a gather reassembles
+//! the output.
+
+use std::error::Error;
+use std::fmt;
+
+use npu_dnn::{Layer, OpKind};
+use npu_tensor::TensorShape;
+
+/// Error produced by [`shard_layer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Requested more parts than the layer's shardable extent.
+    TooManyParts {
+        /// The layer name.
+        layer: String,
+        /// Requested part count.
+        requested: u64,
+        /// Maximum supported parts.
+        cap: u64,
+    },
+    /// `parts` was zero.
+    ZeroParts,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::TooManyParts {
+                layer,
+                requested,
+                cap,
+            } => write!(
+                f,
+                "layer `{layer}` cannot be split into {requested} parts (cap {cap})"
+            ),
+            ShardError::ZeroParts => write!(f, "cannot shard into zero parts"),
+        }
+    }
+}
+
+impl Error for ShardError {}
+
+/// The intrinsic maximum shard count of a layer: its token / output-row
+/// extent. The scheduler additionally applies semantic caps (e.g. one
+/// temporal frame per chiplet).
+pub fn shard_cap(layer: &Layer) -> u64 {
+    match layer.op() {
+        OpKind::Dense { tokens, .. } | OpKind::Ffn { tokens, .. } => tokens,
+        OpKind::AttentionScore { queries, .. } | OpKind::AttentionContext { queries, .. } => {
+            queries
+        }
+        _ => layer.out().h(),
+    }
+}
+
+/// Splits a layer into `parts` data-parallel shards.
+///
+/// Shards are named `{name}#i/n`. Per-shard MAC counts differ by at most
+/// one token/row slice.
+///
+/// # Errors
+///
+/// Returns [`ShardError::TooManyParts`] if `parts` exceeds [`shard_cap`],
+/// and [`ShardError::ZeroParts`] for `parts == 0`.
+pub fn shard_layer(layer: &Layer, parts: u64) -> Result<Vec<Layer>, ShardError> {
+    if parts == 0 {
+        return Err(ShardError::ZeroParts);
+    }
+    if parts == 1 {
+        return Ok(vec![layer.clone()]);
+    }
+    let cap = shard_cap(layer);
+    if parts > cap {
+        return Err(ShardError::TooManyParts {
+            layer: layer.name().to_string(),
+            requested: parts,
+            cap,
+        });
+    }
+
+    let slices = layer.out().split_h(parts);
+    debug_assert_eq!(slices.len() as u64, parts);
+
+    let out = layer.out();
+    let shards = slices
+        .iter()
+        .scan(0u64, |_acc, &h| Some(h))
+        .enumerate()
+        .map(|(i, slice_h)| {
+            let name = format!("{}#{}/{}", layer.name(), i + 1, parts);
+            let op = resize_op(layer.op(), slice_h, out.h());
+            let shape = TensorShape::nchw(out.n(), out.c(), slice_h, out.w());
+            Layer::new(name, op, shape)
+        })
+        .collect();
+    Ok(shards)
+}
+
+/// Scales the token/row extent of an op to a shard slice.
+fn resize_op(op: OpKind, slice_h: u64, full_h: u64) -> OpKind {
+    debug_assert!(slice_h <= full_h);
+    match op {
+        OpKind::Dense {
+            in_features,
+            out_features,
+            ..
+        } => OpKind::Dense {
+            tokens: slice_h,
+            in_features,
+            out_features,
+        },
+        OpKind::Ffn {
+            d_model, hidden, ..
+        } => OpKind::Ffn {
+            tokens: slice_h,
+            d_model,
+            hidden,
+        },
+        OpKind::AttentionScore { window, dim, .. } => OpKind::AttentionScore {
+            queries: slice_h,
+            window,
+            dim,
+        },
+        OpKind::AttentionContext { window, dim, .. } => OpKind::AttentionContext {
+            queries: slice_h,
+            window,
+            dim,
+        },
+        // Spatial and memory ops shard over output rows; their op
+        // parameters are independent of the row extent (the shard's output
+        // shape carries the slice).
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_tensor::MacCount;
+    use proptest::prelude::*;
+
+    fn ffn() -> Layer {
+        Layer::intrinsic(
+            "t_fuse.ffn",
+            OpKind::Ffn {
+                tokens: 19_200,
+                d_model: 304,
+                hidden: 1216,
+            },
+        )
+    }
+
+    fn conv() -> Layer {
+        Layer::new(
+            "deconv4",
+            OpKind::Deconv2d {
+                in_ch: 128,
+                out_ch: 128,
+                kernel: (4, 4),
+                upscale: 2,
+            },
+            TensorShape::nchw(1, 128, 320, 1280),
+        )
+    }
+
+    #[test]
+    fn shards_partition_macs() {
+        for parts in [2, 3, 6, 12] {
+            let shards = shard_layer(&ffn(), parts).unwrap();
+            assert_eq!(shards.len(), parts as usize);
+            let total: MacCount = shards.iter().map(Layer::macs).sum();
+            assert_eq!(total, ffn().macs(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn twelve_way_ffn_split_gives_frame_granularity() {
+        // 19,200 tokens / 12 = 1,600 tokens: exactly one temporal frame
+        // per chiplet, the paper's exhaustion point.
+        let shards = shard_layer(&ffn(), 12).unwrap();
+        for s in &shards {
+            assert_eq!(s.out().h(), 1600);
+        }
+    }
+
+    #[test]
+    fn spatial_shard_splits_rows() {
+        let shards = shard_layer(&conv(), 4).unwrap();
+        let rows: u64 = shards.iter().map(|s| s.out().h()).sum();
+        assert_eq!(rows, 320);
+        let total: MacCount = shards.iter().map(Layer::macs).sum();
+        assert_eq!(total, conv().macs());
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let shards = shard_layer(&ffn(), 1).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], ffn());
+    }
+
+    #[test]
+    fn zero_parts_rejected() {
+        assert_eq!(shard_layer(&ffn(), 0).unwrap_err(), ShardError::ZeroParts);
+    }
+
+    #[test]
+    fn over_cap_rejected() {
+        let tiny = Layer::intrinsic(
+            "t",
+            OpKind::Dense {
+                tokens: 4,
+                in_features: 8,
+                out_features: 8,
+            },
+        );
+        let err = shard_layer(&tiny, 5).unwrap_err();
+        assert!(matches!(err, ShardError::TooManyParts { cap: 4, .. }));
+        assert!(err.to_string().contains("cap 4"));
+    }
+
+    #[test]
+    fn shard_names_are_indexed() {
+        let shards = shard_layer(&ffn(), 3).unwrap();
+        assert_eq!(shards[0].name(), "t_fuse.ffn#1/3");
+        assert_eq!(shards[2].name(), "t_fuse.ffn#3/3");
+    }
+
+    proptest! {
+        /// Sharding always conserves MACs and balances within one slice.
+        #[test]
+        fn conservation(tokens in 2u64..30_000, parts in 1u64..32) {
+            let l = Layer::intrinsic("x", OpKind::Dense {
+                tokens, in_features: 64, out_features: 64,
+            });
+            let parts = parts.min(shard_cap(&l));
+            let shards = shard_layer(&l, parts).unwrap();
+            let total: MacCount = shards.iter().map(Layer::macs).sum();
+            prop_assert_eq!(total, l.macs());
+            let min = shards.iter().map(|s| s.macs().as_u64()).min().unwrap();
+            let max = shards.iter().map(|s| s.macs().as_u64()).max().unwrap();
+            prop_assert!(max - min <= 64 * 64, "unbalanced: {min} vs {max}");
+        }
+    }
+}

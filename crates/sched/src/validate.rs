@@ -1,0 +1,229 @@
+//! Schedule validation.
+//!
+//! A [`Schedule`] produced by any of the schedulers (or deserialized from
+//! disk) must satisfy structural invariants before evaluation results mean
+//! anything. The matcher and DSE are tested against this validator.
+
+use std::error::Error;
+use std::fmt;
+
+use npu_mcm::McmPackage;
+use npu_tensor::MacCount;
+
+use crate::plan::Schedule;
+use crate::shard::shard_cap;
+
+/// A structural violation in a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A stage plan's layer list does not match its graph.
+    LayerCountMismatch {
+        /// Model instance name.
+        model: String,
+        /// Graph layer count.
+        graph_layers: usize,
+        /// Plan layer count.
+        plan_layers: usize,
+    },
+    /// A layer plan has no shards.
+    EmptyLayerPlan {
+        /// Model instance name.
+        model: String,
+        /// Layer name.
+        layer: String,
+    },
+    /// A layer's shards do not conserve its MAC count.
+    MacMismatch {
+        /// Model instance name.
+        model: String,
+        /// Layer name.
+        layer: String,
+        /// Source MACs.
+        expected: MacCount,
+        /// Summed shard MACs.
+        actual: MacCount,
+    },
+    /// A layer is sharded beyond its intrinsic cap.
+    OverSharded {
+        /// Model instance name.
+        model: String,
+        /// Layer name.
+        layer: String,
+        /// Shard count.
+        parts: u64,
+        /// Intrinsic cap.
+        cap: u64,
+    },
+    /// A shard references a chiplet outside the package.
+    UnknownChiplet {
+        /// Model instance name.
+        model: String,
+        /// Layer name.
+        layer: String,
+        /// The offending chiplet index.
+        chiplet: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::LayerCountMismatch {
+                model,
+                graph_layers,
+                plan_layers,
+            } => write!(
+                f,
+                "{model}: plan has {plan_layers} layers for a {graph_layers}-layer graph"
+            ),
+            ScheduleError::EmptyLayerPlan { model, layer } => {
+                write!(f, "{model}/{layer}: no shards")
+            }
+            ScheduleError::MacMismatch {
+                model,
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{model}/{layer}: shards sum to {actual}, layer needs {expected}"
+            ),
+            ScheduleError::OverSharded {
+                model,
+                layer,
+                parts,
+                cap,
+            } => write!(f, "{model}/{layer}: {parts} shards exceed cap {cap}"),
+            ScheduleError::UnknownChiplet {
+                model,
+                layer,
+                chiplet,
+            } => write!(f, "{model}/{layer}: chiplet c{chiplet} not in package"),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Validates a schedule against a package; returns all violations.
+pub fn validate_schedule(schedule: &Schedule, pkg: &McmPackage) -> Vec<ScheduleError> {
+    let mut errors = Vec::new();
+    for stage in &schedule.stages {
+        for mp in &stage.models {
+            if mp.layers.len() != mp.graph.len() {
+                errors.push(ScheduleError::LayerCountMismatch {
+                    model: mp.name.clone(),
+                    graph_layers: mp.graph.len(),
+                    plan_layers: mp.layers.len(),
+                });
+                continue;
+            }
+            for lp in &mp.layers {
+                if lp.shards.is_empty() {
+                    errors.push(ScheduleError::EmptyLayerPlan {
+                        model: mp.name.clone(),
+                        layer: lp.source.name().to_string(),
+                    });
+                    continue;
+                }
+                let cap = shard_cap(&lp.source);
+                if lp.parts() > cap {
+                    errors.push(ScheduleError::OverSharded {
+                        model: mp.name.clone(),
+                        layer: lp.source.name().to_string(),
+                        parts: lp.parts(),
+                        cap,
+                    });
+                }
+                let total: MacCount = lp.shards.iter().map(|s| s.layer.macs()).sum();
+                if total != lp.source.macs() {
+                    errors.push(ScheduleError::MacMismatch {
+                        model: mp.name.clone(),
+                        layer: lp.source.name().to_string(),
+                        expected: lp.source.macs(),
+                        actual: total,
+                    });
+                }
+                for s in &lp.shards {
+                    if s.chiplet.index() >= pkg.len() {
+                        errors.push(ScheduleError::UnknownChiplet {
+                            model: mp.name.clone(),
+                            layer: lp.source.name().to_string(),
+                            chiplet: s.chiplet.0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{LayerPlan, ModelPlan, ShardAssignment, StagePlan};
+    use crate::throughput_match::{MatcherConfig, ThroughputMatcher};
+    use npu_dnn::models::attention::{fusion_block, FusionConfig};
+    use npu_dnn::{PerceptionConfig, StageKind};
+    use npu_maestro::FittedMaestro;
+    use npu_mcm::ChipletId;
+
+    #[test]
+    fn matched_schedule_is_valid() {
+        let pipeline = PerceptionConfig::default().build();
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let outcome = ThroughputMatcher::new(&model, MatcherConfig::default())
+            .match_throughput(&pipeline, &pkg);
+        assert!(validate_schedule(&outcome.schedule, &pkg).is_empty());
+    }
+
+    #[test]
+    fn dual_npu_minimized_schedule_is_valid() {
+        let pipeline = PerceptionConfig::default().build();
+        let pkg = McmPackage::dual_npu_12x6();
+        let model = FittedMaestro::new();
+        let cfg = MatcherConfig {
+            allow_fe_split: true,
+            ..MatcherConfig::default()
+        };
+        let outcome = ThroughputMatcher::new(&model, cfg).minimize(&pipeline, &pkg);
+        assert!(validate_schedule(&outcome.schedule, &pkg).is_empty());
+    }
+
+    #[test]
+    fn corrupted_schedule_is_rejected() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let mut mp = ModelPlan::on_single_chiplet("m", g.clone(), ChipletId(0));
+        // Corrupt: drop a shard's tokens by replacing with a mini layer.
+        let ffn = g.find("s_fuse.ffn").unwrap();
+        let mini = npu_dnn::Layer::intrinsic(
+            "s_fuse.ffn#1/1",
+            npu_dnn::OpKind::Ffn {
+                tokens: 1,
+                d_model: 256,
+                hidden: 1024,
+            },
+        );
+        *mp.layer_plan_mut(ffn) = LayerPlan {
+            source: g.layer(ffn).clone(),
+            shards: vec![ShardAssignment {
+                layer: mini,
+                chiplet: ChipletId(99),
+            }],
+        };
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![mp],
+                region: vec![ChipletId(0)],
+            }],
+        };
+        let errors = validate_schedule(&schedule, &McmPackage::simba_6x6());
+        assert_eq!(errors.len(), 2); // MAC mismatch + unknown chiplet
+        let text: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        assert!(text.iter().any(|t| t.contains("c99")));
+        assert!(text.iter().any(|t| t.contains("shards sum")));
+    }
+}

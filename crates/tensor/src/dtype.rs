@@ -1,0 +1,85 @@
+//! Numeric datatypes carried by feature maps and weights.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Bytes;
+
+/// Datatype of tensor elements.
+///
+/// The paper's accelerators (Simba-like chiplets, Tesla FSD NPU) operate on
+/// 8-bit integer MACs with wider accumulators; feature maps moved over the
+/// NoP in our default configuration are FP16, matching the 2-byte-per-
+/// element accounting used in the NoP cost analysis (§IV-D).
+///
+/// # Examples
+///
+/// ```
+/// use npu_tensor::Dtype;
+/// assert_eq!(Dtype::Fp16.bytes_per_element(), 2);
+/// assert_eq!(Dtype::default(), Dtype::Fp16);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Dtype {
+    /// 8-bit integer.
+    Int8,
+    /// 16-bit floating point (default for activations/feature maps).
+    #[default]
+    Fp16,
+    /// 32-bit floating point (accumulators, rarely moved).
+    Fp32,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            Dtype::Int8 => 1,
+            Dtype::Fp16 => 2,
+            Dtype::Fp32 => 4,
+        }
+    }
+
+    /// Total size of `elements` values of this datatype.
+    pub fn sized(self, elements: u64) -> Bytes {
+        Bytes::new(elements * self.bytes_per_element())
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dtype::Int8 => "int8",
+            Dtype::Fp16 => "fp16",
+            Dtype::Fp32 => "fp32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Dtype::Int8.bytes_per_element(), 1);
+        assert_eq!(Dtype::Fp16.bytes_per_element(), 2);
+        assert_eq!(Dtype::Fp32.bytes_per_element(), 4);
+    }
+
+    #[test]
+    fn sized_multiplies() {
+        assert_eq!(Dtype::Fp16.sized(1600 * 256).as_u64(), 1600 * 256 * 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dtype::Fp16.to_string(), "fp16");
+        assert_eq!(Dtype::Int8.to_string(), "int8");
+        assert_eq!(Dtype::Fp32.to_string(), "fp32");
+    }
+}

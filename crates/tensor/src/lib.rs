@@ -1,0 +1,33 @@
+//! Foundation types for the `mcm-npu` simulator workspace.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`units`] — newtype quantities with physical meaning ([`Seconds`],
+//!   [`Joules`], [`Bytes`], [`MacCount`], [`Cycles`], …) so that a latency
+//!   can never be accidentally added to an energy (C-NEWTYPE).
+//! * [`dtype`] — numeric datatypes carried by feature maps ([`Dtype`]).
+//! * [`shape`] — tensor shapes ([`TensorShape`]) with element/byte
+//!   accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use npu_tensor::{Dtype, Seconds, TensorShape};
+//!
+//! // The fused BEV grid of the Tesla Autopilot pipeline: 1x20x80x256.
+//! let grid = TensorShape::nchw(1, 256, 20, 80);
+//! assert_eq!(grid.elements(), 20 * 80 * 256);
+//! assert_eq!(grid.bytes(Dtype::Fp16).as_u64(), 20 * 80 * 256 * 2);
+//!
+//! let lat = Seconds::from_millis(82.7);
+//! assert!(lat < Seconds::from_millis(85.0));
+//! ```
+
+pub mod dtype;
+pub mod shape;
+pub mod units;
+
+pub use dtype::Dtype;
+pub use shape::TensorShape;
+pub use units::{Bytes, Cycles, Edp, Hertz, Joules, MacCount, Seconds};

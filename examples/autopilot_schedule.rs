@@ -1,0 +1,38 @@
+//! Full Algorithm-1 walkthrough: the step-by-step trace of nested greedy
+//! throughput matching on the 6×6 MCM (the process behind the paper's
+//! Figs. 5–8), followed by the per-stage mapping panels.
+//!
+//! Run with: `cargo run --release -p npu-core --example autopilot_schedule`
+
+use npu_core::prelude::*;
+
+fn main() {
+    let platform = Platform::simba_6x6();
+    let pipeline = PerceptionConfig::default().build();
+    let outcome = platform.schedule_perception(&pipeline);
+
+    println!("Algorithm 1 trace (paper Sec. IV):");
+    for (i, step) in outcome.trace.iter().enumerate() {
+        println!(
+            "  step {:2}: {:45} pipe {:>10}  free chiplets {:2}",
+            i,
+            step.description,
+            step.pipe.to_string(),
+            step.chiplets_remaining
+        );
+    }
+
+    println!("\nChiplet occupancy (one pipelining window):");
+    let pkg = platform.package();
+    let model = FittedMaestro::new();
+    print!(
+        "{}",
+        npu_core::sched::gantt::render(&outcome.schedule, pkg, &model, 48)
+    );
+
+    println!("\nPer-stage mapping panels (paper Figs. 5-8):");
+    println!("{}", npu_core::experiments::fig5to8::run());
+
+    println!("NoP data-movement costs (paper Fig. 9):");
+    println!("{}", npu_core::experiments::fig9::run());
+}

@@ -1,0 +1,25 @@
+//! Heterogeneous trunk integration: brute-force DSE over OS/WS chiplet
+//! mixes in the trunks quadrant (the paper's Table I), plus the trunk
+//! ablations (Table III occupancy scaling, Fig. 11 context-aware lanes).
+//!
+//! Run with: `cargo run --release -p npu-core --example hetero_dse`
+
+use npu_core::experiments::{fig11, table1, table3};
+
+fn main() {
+    let t1 = table1::run();
+    println!("{t1}");
+
+    for v in &t1.variants {
+        println!(
+            "{:7}: searched {:3} configs, feasible: {}, winning schedule uses {} chiplets",
+            v.variant,
+            v.configs_searched,
+            v.feasible,
+            v.schedule.chiplets_used().len()
+        );
+    }
+
+    println!("{}", table3::run());
+    println!("{}", fig11::run());
+}

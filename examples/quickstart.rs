@@ -1,0 +1,48 @@
+//! Quickstart: schedule the Tesla-Autopilot-style perception pipeline on
+//! the paper's 6×6 multi-chiplet NPU and print the headline metrics.
+//!
+//! Run with: `cargo run --release -p npu-core --example quickstart`
+
+use npu_core::prelude::*;
+
+fn main() {
+    // The paper's NPU: a Simba-like 6x6 mesh of 256-PE output-stationary
+    // chiplets — 9,216 PEs, the Tesla FSD NPU budget, at 2 GHz.
+    let platform = Platform::simba_6x6();
+    println!("platform : {}", platform.package());
+
+    // The four-stage perception workload: 8 cameras -> FE+BFPN -> spatial
+    // fusion -> temporal fusion -> trunks (occupancy / lanes / detectors).
+    let pipeline = PerceptionConfig::default().build();
+    println!(
+        "workload : {} stages, {:.1} GMAC/frame",
+        pipeline.stages().len(),
+        pipeline.total_macs().as_gmacs()
+    );
+
+    // Algorithm 1: nested greedy throughput matching.
+    let outcome = platform.schedule_perception(&pipeline);
+    println!("\nschedule after throughput matching:");
+    print!("{}", outcome.schedule);
+
+    let r = &outcome.report;
+    println!("pipelining latency : {}", r.pipe);
+    println!("end-to-end latency : {}", r.e2e);
+    println!("throughput         : {:.1} FPS", r.throughput_fps());
+    println!(
+        "energy/frame       : {} (+{} NoP)",
+        r.compute_energy, r.nop_energy
+    );
+    println!("EDP                : {}", r.edp());
+    println!("PE utilization     : {:.1}%", r.utilization_used * 100.0);
+
+    for stage in &r.per_stage {
+        println!(
+            "  {:10} pipe {:>9}  e2e {:>9}  energy {:>10}",
+            stage.kind.to_string(),
+            stage.pipe.to_string(),
+            stage.e2e.to_string(),
+            stage.energy().to_string()
+        );
+    }
+}

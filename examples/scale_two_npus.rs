@@ -1,0 +1,30 @@
+//! Scaling to two active NPUs (72 chiplets): the minimizing matcher keeps
+//! sharding until the pipelining latency halves (paper §V-B, Fig. 10).
+//!
+//! Run with: `cargo run --release -p npu-core --example scale_two_npus`
+
+use npu_core::prelude::*;
+
+fn main() {
+    println!("{}", npu_core::experiments::fig10::run());
+
+    // Side-by-side platform comparison.
+    let pipeline = PerceptionConfig::default().build();
+    let single = Platform::simba_6x6().schedule_perception(&pipeline);
+    let dual = Platform::dual_npu().schedule_minimized(&pipeline);
+
+    println!(
+        "single NPU (36 chiplets): pipe {}  -> {:.1} FPS",
+        single.report.pipe,
+        single.report.throughput_fps()
+    );
+    println!(
+        "dual   NPU (72 chiplets): pipe {}  -> {:.1} FPS",
+        dual.report.pipe,
+        dual.report.throughput_fps()
+    );
+    println!(
+        "speedup: {:.2}x (paper: ~2x, 41.1 ms final pipelining latency)",
+        single.report.pipe / dual.report.pipe
+    );
+}

@@ -1,0 +1,152 @@
+//! Property-based invariants spanning multiple crates.
+
+use proptest::prelude::*;
+
+use npu_dnn::{Layer, OpKind, PerceptionConfig};
+use npu_maestro::{Accelerator, CostModel, FittedMaestro};
+use npu_mcm::{ChipletId, McmPackage};
+use npu_sched::{evaluate, shard_layer, MatcherConfig, ThroughputMatcher};
+use npu_sched::{LayerPlan, ModelPlan, Schedule, ShardAssignment, StagePlan};
+use npu_tensor::{Dtype, Seconds};
+
+fn dense(tokens: u64, d_in: u64, d_out: u64) -> Layer {
+    Layer::intrinsic(
+        "l",
+        OpKind::Dense {
+            tokens,
+            in_features: d_in,
+            out_features: d_out,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharding a layer across chiplets never increases the per-shard
+    /// compute latency, and the shard latencies sum to ~the unsharded
+    /// latency (work conservation through the cost model).
+    #[test]
+    fn sharding_conserves_work(
+        tokens in 128u64..40_000,
+        parts in 1u64..12,
+        d in prop::sample::select(vec![64u64, 128, 256, 304]),
+    ) {
+        let model = FittedMaestro::new();
+        let acc = Accelerator::shidiannao_like(256);
+        let layer = dense(tokens, d, d);
+        let full = model.layer_cost(&layer, &acc).latency;
+        let parts = parts.min(tokens);
+        let shards = shard_layer(&layer, parts).unwrap();
+        let times: Vec<Seconds> =
+            shards.iter().map(|s| model.layer_cost(s, &acc).latency).collect();
+        let max = times.iter().copied().fold(Seconds::ZERO, Seconds::max);
+        let sum: Seconds = times.iter().copied().sum();
+        prop_assert!(max.as_secs() <= full.as_secs() + 1e-12);
+        prop_assert!((sum.as_secs() - full.as_secs()).abs() / full.as_secs() < 1e-9);
+    }
+
+    /// Spreading a fixed set of layers over more chiplets never increases
+    /// the evaluated pipelining latency.
+    #[test]
+    fn more_chiplets_never_slow_the_pipe(spread in 1usize..9) {
+        let model = FittedMaestro::new();
+        let pkg = McmPackage::simba_6x6();
+        let g = npu_dnn::models::attention::fusion_block(
+            &npu_dnn::models::attention::FusionConfig::spatial_default(),
+        );
+        let build = |n: usize| -> Schedule {
+            let layers = g
+                .iter()
+                .enumerate()
+                .map(|(i, (_, l))| {
+                    LayerPlan {
+                        source: l.clone(),
+                        shards: vec![ShardAssignment {
+                            layer: l.clone(),
+                            chiplet: ChipletId((i % n) as u32),
+                        }],
+                    }
+                })
+                .collect();
+            Schedule {
+                stages: vec![StagePlan {
+                    kind: npu_dnn::StageKind::SpatialFusion,
+                    models: vec![ModelPlan { name: "m".into(), graph: g.clone(), layers }],
+                    region: (0..n as u32).map(ChipletId).collect(),
+                }],
+            }
+        };
+        let one = evaluate(&build(1), &pkg, &model, Dtype::Fp16).pipe;
+        let many = evaluate(&build(spread.max(1)), &pkg, &model, Dtype::Fp16).pipe;
+        prop_assert!(many.as_secs() <= one.as_secs() * 1.001);
+    }
+}
+
+/// Evaluator invariants on the matched schedule: per-stage E2E at least
+/// the stage pipe; total E2E is the sum of stage E2Es; busy times fit the
+/// pipelining window.
+#[test]
+fn evaluator_invariants_hold() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let r = ThroughputMatcher::new(&model, MatcherConfig::default())
+        .match_throughput(&pipeline, &pkg)
+        .report;
+    let sum: f64 = r.per_stage.iter().map(|s| s.e2e.as_secs()).sum();
+    assert!((sum - r.e2e.as_secs()).abs() < 1e-12);
+    for s in &r.per_stage {
+        assert!(
+            s.e2e.as_secs() >= s.pipe.as_secs() * 0.999,
+            "{}: e2e {} < pipe {}",
+            s.kind,
+            s.e2e,
+            s.pipe
+        );
+    }
+    for (c, b) in &r.busy {
+        assert!(b.as_secs() <= r.pipe.as_secs() + 1e-12, "{c} over window");
+    }
+    assert!((0.0..=1.0).contains(&r.utilization));
+    assert!(r.utilization <= r.utilization_used + 1e-12);
+}
+
+/// The matcher is deterministic: same inputs, same schedule.
+#[test]
+fn matcher_is_deterministic() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let a =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+    let b =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.report.pipe, b.report.pipe);
+}
+
+/// Workload MACs are invariant under scheduling: the evaluator's energy
+/// accounting covers exactly the pipeline's layers.
+#[test]
+fn scheduling_preserves_workload_energy() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let matched =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+
+    // Compute energy must equal the serial single-chiplet compute energy
+    // (sharding replicates no MACs; only NoP energy is added on top).
+    let acc = Accelerator::shidiannao_like(256);
+    let mut serial = npu_tensor::Joules::ZERO;
+    for stage in pipeline.stages() {
+        for sm in stage.models() {
+            let cost = npu_maestro::graph_cost(&model, sm.graph(), &acc);
+            serial += cost.energy() * sm.instances() as f64;
+        }
+    }
+    let rel =
+        (matched.report.compute_energy.as_joules() - serial.as_joules()).abs() / serial.as_joules();
+    assert!(rel < 1e-9, "compute energy drift {rel}");
+}

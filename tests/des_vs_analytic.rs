@@ -1,0 +1,81 @@
+//! Cross-validation: the discrete-event simulator must reproduce the
+//! analytical pipeline model on every schedule family the paper uses.
+
+use npu_core::prelude::*;
+use npu_mcm::McmPackage;
+
+fn agreement(schedule: &Schedule, pkg: &McmPackage) -> (f64, Seconds, Seconds) {
+    let model = FittedMaestro::new();
+    let analytic = evaluate(schedule, pkg, &model, Dtype::Fp16);
+    let des = npu_pipesim::simulate(
+        schedule,
+        pkg,
+        &model,
+        &npu_pipesim::SimConfig::saturated(16),
+    );
+    let rel = (des.steady_interval.as_secs() / analytic.pipe.as_secs() - 1.0).abs();
+    (rel, des.steady_interval, analytic.pipe)
+}
+
+#[test]
+fn matched_mcm_schedule_agrees() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let outcome =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+    let (rel, des, ana) = agreement(&outcome.schedule, &pkg);
+    assert!(rel < 0.10, "DES {des} vs analytic {ana}");
+}
+
+#[test]
+fn monolithic_baseline_agrees_exactly() {
+    let pipeline = PerceptionConfig::default().build().bottleneck_stages();
+    let pkg = McmPackage::monolithic_9216();
+    let model = FittedMaestro::new();
+    let schedule = baseline_schedule(&pipeline, &pkg, Pipelining::Stagewise, &model);
+    let (rel, des, ana) = agreement(&schedule, &pkg);
+    // A single chip serializes everything: the DES must match exactly.
+    assert!(rel < 1e-9, "DES {des} vs analytic {ana}");
+}
+
+#[test]
+fn quad_baseline_agrees() {
+    let pipeline = PerceptionConfig::default().build().bottleneck_stages();
+    let pkg = McmPackage::quad_2304();
+    let model = FittedMaestro::new();
+    let schedule = baseline_schedule(&pipeline, &pkg, Pipelining::Layerwise, &model);
+    let (rel, des, ana) = agreement(&schedule, &pkg);
+    assert!(rel < 0.10, "DES {des} vs analytic {ana}");
+}
+
+#[test]
+fn dual_npu_schedule_agrees() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::dual_npu_12x6();
+    let model = FittedMaestro::new();
+    let cfg = MatcherConfig {
+        allow_fe_split: true,
+        ..MatcherConfig::default()
+    };
+    let outcome = ThroughputMatcher::new(&model, cfg).minimize(&pipeline, &pkg);
+    let (rel, des, ana) = agreement(&outcome.schedule, &pkg);
+    assert!(rel < 0.12, "DES {des} vs analytic {ana}");
+}
+
+#[test]
+fn des_latency_always_at_least_critical_path() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    let outcome =
+        ThroughputMatcher::new(&model, MatcherConfig::default()).match_throughput(&pipeline, &pkg);
+    let des = npu_pipesim::simulate(
+        &outcome.schedule,
+        &pkg,
+        &model,
+        &npu_pipesim::SimConfig::saturated(16),
+    );
+    // Per-frame latency can never beat the dependency critical path.
+    assert!(des.mean_latency.as_secs() >= outcome.report.e2e.as_secs() * 0.8);
+}

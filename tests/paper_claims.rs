@@ -1,0 +1,105 @@
+//! The paper's headline quantitative claims, checked end to end.
+//!
+//! These are the acceptance tests of the reproduction: each maps to a
+//! sentence in the paper's abstract or evaluation section.
+
+use npu_experiments::{fig10, fig11, fig3, fig5to8, table1, table2, table3};
+
+/// Abstract: "our approach realizes ... 2.8x increase in ... processing
+/// engines utilization compared to monolithic accelerator designs" —
+/// together with Table II's ordering.
+#[test]
+fn utilization_and_pipe_beat_all_baselines() {
+    let t2 = table2::run();
+    let mcm = t2.row("36x256", "matched").unwrap();
+    for r in &t2.rows {
+        if r.arrangement != "36x256" {
+            assert!(mcm.report.pipe < r.report.pipe);
+            assert!(mcm.report.utilization_used > r.report.utilization_used);
+        }
+    }
+    // Our delivery-limited utilization metric yields a smaller gain than
+    // the paper's 2.8x (see EXPERIMENTS.md); direction and significance
+    // hold.
+    assert!(t2.utilization_gain_vs_monolithic() > 1.4);
+    // Monolithic utilization matches the paper's 19.11% closely.
+    let mono = t2.row("1x9216", "stagewise").unwrap();
+    assert!((0.12..0.30).contains(&mono.report.utilization_used));
+}
+
+/// §V-A: "it incurs a 10.9% increase in energy consumption compared to the
+/// single chiplet solution" (NoP overhead) and "the 6x6 solution achieves
+/// the lowest EDP".
+#[test]
+fn mcm_trades_nop_energy_for_best_edp() {
+    let t2 = table2::run();
+    let overhead = t2.energy_overhead_vs_monolithic();
+    assert!(overhead > 0.0, "MCM must pay NoP energy: {overhead}");
+    let mcm = t2.row("36x256", "matched").unwrap();
+    for r in &t2.rows {
+        if r.arrangement != "36x256" {
+            assert!(mcm.report.edp().as_joule_secs() < r.report.edp().as_joule_secs());
+        }
+    }
+}
+
+/// §III-A: OS offers ~6.85x speedups; WS 1.2x energy gains (1.55x without
+/// the fusion stages); fusion modules are the computational bottleneck.
+#[test]
+fn dataflow_affinity_claims() {
+    let f3 = fig3::run();
+    assert!((5.5..8.0).contains(&f3.os_speedup));
+    assert!((1.05..1.4).contains(&f3.ws_energy_gain));
+    assert!((1.35..1.6).contains(&f3.ws_energy_gain_no_fusion));
+    assert!(f3.s_fuse_share + f3.t_fuse_share > 0.70);
+}
+
+/// §IV-A/B: the matched 6x6 schedule reproduces the paper's stage panels:
+/// S_FUSE pipe 78.72 ms, T_FUSE pipe 82.16 ms with QKV x2 / FFN x6.
+#[test]
+fn stage_mapping_panels() {
+    let f = fig5to8::run();
+    for row in &f.rows {
+        let rel = (row.pipe.as_millis() / row.paper.pipe_ms - 1.0).abs();
+        assert!(rel < 0.10, "{}: {}", row.kind, row.pipe);
+    }
+}
+
+/// Table I: heterogeneous integration lowers energy and EDP at unchanged
+/// E2E; DET_TR saves ~35% on WS; WS-only is ~6.6x slower.
+#[test]
+fn heterogeneous_integration_claims() {
+    let t1 = table1::run();
+    let os = t1.variant("OS").unwrap();
+    let ws = t1.variant("WS").unwrap();
+    let h4 = t1.variant("Het(4)").unwrap();
+    assert!((0.30..0.40).contains(&t1.det_ws_energy_reduction));
+    assert!(h4.report.energy() < os.report.energy());
+    assert!((4.0..10.0).contains(&(ws.report.e2e / os.report.e2e)));
+}
+
+/// §V-B/Fig. 10: two NPUs nearly halve the pipelining latency, with the
+/// paper's shard moves (T_QKV 2→4, T_FFN →12, FE split, S_QKV →2).
+#[test]
+fn dual_npu_scaling_claims() {
+    let f = fig10::run();
+    assert!((1.6..2.4).contains(&(f.single_npu_pipe / f.final_pipe)));
+    assert!(f.fe_split);
+    assert!(f.t_ffn_parts >= 10);
+    assert!(f.s_qkv_parts >= 2);
+}
+
+/// Table III / Fig. 11: occupancy latency grows ~4x per upsampling level
+/// (last level ~75%); ~60% lane context meets the 82 ms constraint.
+#[test]
+fn trunk_ablation_claims() {
+    let t3 = table3::run();
+    for pair in t3.rows.windows(2) {
+        let ratio = pair[1].e2e / pair[0].e2e;
+        assert!((3.0..5.0).contains(&ratio));
+    }
+    assert!((0.6..0.85).contains(&t3.last_level_share));
+
+    let f11 = fig11::run();
+    assert!((50.0..=75.0).contains(&f11.max_feasible_pct));
+}
