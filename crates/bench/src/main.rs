@@ -5,10 +5,64 @@
 //! repro            # everything
 //! repro fig3       # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                  # fig9, fig10, fig11, table1, table2, table3)
+//! repro --json ... # machine-readable, one JSON document per artifact
 //! ```
 
 use std::env;
 use std::process::ExitCode;
+
+/// One renderable artifact: name, text renderer, JSON renderer.
+struct Artifact {
+    name: &'static str,
+    /// Other accepted spellings (`fig5`..`fig8` for the panel).
+    aliases: &'static [&'static str],
+    text: fn() -> String,
+    json: fn() -> String,
+}
+
+macro_rules! artifact {
+    ($name:literal, $module:ident) => {
+        artifact!($name, $module, [])
+    };
+    ($name:literal, $module:ident, $aliases:expr) => {
+        Artifact {
+            name: $name,
+            aliases: &$aliases,
+            text: || npu_experiments::$module::run().to_string(),
+            json: || {
+                serde_json::to_string_pretty(&npu_experiments::$module::run())
+                    .expect("experiment results serialize")
+            },
+        }
+    };
+}
+
+/// The single registry every other list derives from: the JSON `all`
+/// expansion, name lookup (with aliases) and the error-message listing.
+const ARTIFACTS: [Artifact; 11] = [
+    artifact!("fig3", fig3),
+    artifact!("fig4", fig4),
+    artifact!("fig5to8", fig5to8, ["fig5", "fig6", "fig7", "fig8"]),
+    artifact!("fig9", fig9),
+    artifact!("fig10", fig10),
+    artifact!("fig11", fig11),
+    artifact!("table1", table1),
+    artifact!("table2", table2),
+    artifact!("table3", table3),
+    artifact!("ablations", ablations),
+    artifact!("sweeps", ext_sweeps),
+];
+
+fn find(name: &str) -> Option<&'static Artifact> {
+    ARTIFACTS
+        .iter()
+        .find(|a| a.name == name || a.aliases.contains(&name))
+}
+
+fn expected_names() -> String {
+    let names: Vec<&str> = ARTIFACTS.iter().map(|a| a.name).collect();
+    format!("{} or all", names.join(", "))
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
@@ -17,64 +71,28 @@ fn main() -> ExitCode {
         args.remove(0);
     }
     if args.is_empty() {
-        print!("{}", npu_experiments::run_all());
-        return ExitCode::SUCCESS;
-    }
-
-    if json {
-        let mut ok = true;
-        for arg in &args {
-            let rendered = match arg.as_str() {
-                "fig3" => serde_json::to_string_pretty(&npu_experiments::fig3::run()),
-                "fig4" => serde_json::to_string_pretty(&npu_experiments::fig4::run()),
-                "fig5" | "fig6" | "fig7" | "fig8" | "fig5to8" => {
-                    serde_json::to_string_pretty(&npu_experiments::fig5to8::run())
-                }
-                "fig9" => serde_json::to_string_pretty(&npu_experiments::fig9::run()),
-                "fig10" => serde_json::to_string_pretty(&npu_experiments::fig10::run()),
-                "fig11" => serde_json::to_string_pretty(&npu_experiments::fig11::run()),
-                "table1" => serde_json::to_string_pretty(&npu_experiments::table1::run()),
-                "table2" => serde_json::to_string_pretty(&npu_experiments::table2::run()),
-                "table3" => serde_json::to_string_pretty(&npu_experiments::table3::run()),
-                "ablations" => serde_json::to_string_pretty(&npu_experiments::ablations::run()),
-                "sweeps" => serde_json::to_string_pretty(&npu_experiments::ext_sweeps::run()),
-                other => {
-                    eprintln!("unknown artifact `{other}` for --json");
-                    ok = false;
-                    continue;
-                }
-            };
-            println!("{}", rendered.expect("experiment results serialize"));
-        }
-        return if ok {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
+        args.push("all".to_string());
     }
 
     let mut ok = true;
     for arg in &args {
-        match arg.as_str() {
-            "fig3" => print!("{}", npu_experiments::fig3::run()),
-            "fig4" => print!("{}", npu_experiments::fig4::run()),
-            "fig5" | "fig6" | "fig7" | "fig8" | "fig5to8" => {
-                print!("{}", npu_experiments::fig5to8::run())
+        if arg == "all" {
+            if json {
+                // One JSON document per artifact, registry order.
+                for artifact in &ARTIFACTS {
+                    println!("{}", (artifact.json)());
+                }
+            } else {
+                // The curated full report (paper section order).
+                print!("{}", npu_experiments::run_all());
             }
-            "fig9" => print!("{}", npu_experiments::fig9::run()),
-            "fig10" => print!("{}", npu_experiments::fig10::run()),
-            "fig11" => print!("{}", npu_experiments::fig11::run()),
-            "table1" => print!("{}", npu_experiments::table1::run()),
-            "table2" => print!("{}", npu_experiments::table2::run()),
-            "table3" => print!("{}", npu_experiments::table3::run()),
-            "ablations" => print!("{}", npu_experiments::ablations::run()),
-            "sweeps" => print!("{}", npu_experiments::ext_sweeps::run()),
-            "all" => print!("{}", npu_experiments::run_all()),
-            other => {
-                eprintln!(
-                    "unknown artifact `{other}`; expected fig3, fig4, fig5to8, fig9, \
-                     fig10, fig11, table1, table2, table3, ablations, sweeps or all"
-                );
+            continue;
+        }
+        match find(arg) {
+            Some(artifact) if json => println!("{}", (artifact.json)()),
+            Some(artifact) => print!("{}", (artifact.text)()),
+            None => {
+                eprintln!("unknown artifact `{arg}`; expected {}", expected_names());
                 ok = false;
             }
         }
@@ -83,5 +101,31 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve_to_the_panel() {
+        for alias in ["fig5", "fig6", "fig7", "fig8", "fig5to8"] {
+            assert_eq!(find(alias).unwrap().name, "fig5to8");
+        }
+    }
+
+    #[test]
+    fn unknown_names_do_not_resolve() {
+        assert!(find("fig12").is_none());
+        assert!(find("all").is_none(), "`all` is expanded, not an artifact");
+    }
+
+    #[test]
+    fn expected_names_lists_every_artifact() {
+        let listing = expected_names();
+        for a in &ARTIFACTS {
+            assert!(listing.contains(a.name));
+        }
     }
 }

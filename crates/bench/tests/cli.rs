@@ -1,0 +1,74 @@
+//! End-to-end tests of the `repro` CLI: argument parsing, exit codes and
+//! the `--json` output mode.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn unknown_artifact_exits_nonzero() {
+    let out = repro(&["no_such_artifact"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown artifact `no_such_artifact`"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("expected fig3"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_artifact_exits_nonzero_in_json_mode() {
+    let out = repro(&["--json", "no_such_artifact"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown artifact `no_such_artifact`"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn one_bad_artifact_fails_the_whole_invocation() {
+    // A valid artifact before the bad one must not mask the failure.
+    let out = repro(&["fig3", "no_such_artifact"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Fig. 3"), "fig3 should still render");
+}
+
+#[test]
+fn json_mode_emits_valid_json() {
+    let out = repro(&["--json", "fig3"]);
+    assert!(out.status.success(), "repro --json fig3 failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    assert!(
+        value.as_object().is_some(),
+        "expected a top-level JSON object"
+    );
+}
+
+#[test]
+fn json_all_emits_one_document_per_artifact() {
+    let out = repro(&["--json", "all"]);
+    assert!(out.status.success(), "repro --json all failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Concatenated pretty-printed documents: one per artifact, each
+    // opening at column 0.
+    let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
+    assert_eq!(docs, 11, "expected 11 JSON documents:\n{stdout}");
+}
+
+#[test]
+fn text_mode_renders_the_artifact() {
+    let out = repro(&["fig3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Fig. 3"), "stdout: {stdout}");
+}

@@ -1,2 +1,17 @@
-//! Empty library crate; the integration tests live in the workspace-root
-//! `tests/` directory and are wired in via `[[test]]` path entries.
+//! Anchor crate for the workspace-level test suite and examples.
+//!
+//! Cargo only discovers `tests/` and `examples/` inside a package, so
+//! this otherwise-empty crate wires the workspace-root directories in
+//! through explicit `[[test]]` and `[[example]]` path entries in its
+//! manifest:
+//!
+//! - `tests/end_to_end.rs` — full schedule/evaluate/serialize round trips;
+//! - `tests/paper_claims.rs` — the paper's headline numbers, pinned;
+//! - `tests/des_vs_analytic.rs` — discrete-event vs analytical drift;
+//! - `tests/cross_crate_properties.rs` — property-based invariants
+//!   spanning the component crates;
+//! - `examples/*.rs` — the five runnable walkthroughs listed in the
+//!   top-level README (`cargo run --release --example quickstart`, ...).
+//!
+//! The crate body is intentionally empty: everything interesting lives
+//! in those root directories and in the crates they exercise.

@@ -47,7 +47,7 @@ pub fn geometry_sweep(
     };
     let mut r = 1;
     while r * r <= pes {
-        if pes % r == 0 {
+        if pes.is_multiple_of(r) {
             push(r, pes / r);
             if r != pes / r {
                 push(pes / r, r);

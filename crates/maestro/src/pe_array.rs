@@ -57,7 +57,7 @@ impl PeArray {
     pub fn square_ish(pes: u64) -> Self {
         assert!(pes > 0, "PE count must be positive");
         let mut rows = (pes as f64).sqrt() as u64;
-        while rows > 1 && pes % rows != 0 {
+        while rows > 1 && !pes.is_multiple_of(rows) {
             rows -= 1;
         }
         PeArray::new(rows, pes / rows)

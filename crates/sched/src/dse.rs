@@ -166,8 +166,8 @@ pub fn explore_trunks(
             stages: vec![stage_plan],
         };
         let report = evaluate(&schedule, &het_pkg, model, cfg.dtype);
-        let feasible = report.pipe <= cfg.latency_constraint
-            && cfg.e2e_budget.map_or(true, |b| report.e2e <= b);
+        let feasible =
+            report.pipe <= cfg.latency_constraint && cfg.e2e_budget.is_none_or(|b| report.e2e <= b);
         if std::env::var("DSE_DEBUG").is_ok() {
             eprintln!(
                 "combo {:?} pipe={:.1}ms e={:.1}mJ feas={}",

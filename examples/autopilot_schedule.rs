@@ -2,7 +2,7 @@
 //! throughput matching on the 6×6 MCM (the process behind the paper's
 //! Figs. 5–8), followed by the per-stage mapping panels.
 //!
-//! Run with: `cargo run --release -p npu-core --example autopilot_schedule`
+//! Run with: `cargo run --release --example autopilot_schedule`
 
 use npu_core::prelude::*;
 

@@ -2,7 +2,7 @@
 //! mixes in the trunks quadrant (the paper's Table I), plus the trunk
 //! ablations (Table III occupancy scaling, Fig. 11 context-aware lanes).
 //!
-//! Run with: `cargo run --release -p npu-core --example hetero_dse`
+//! Run with: `cargo run --release --example hetero_dse`
 
 use npu_core::experiments::{fig11, table1, table3};
 

@@ -1,7 +1,7 @@
 //! Quickstart: schedule the Tesla-Autopilot-style perception pipeline on
 //! the paper's 6×6 multi-chiplet NPU and print the headline metrics.
 //!
-//! Run with: `cargo run --release -p npu-core --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use npu_core::prelude::*;
 

@@ -1,7 +1,7 @@
 //! Scaling to two active NPUs (72 chiplets): the minimizing matcher keeps
 //! sharding until the pipelining latency halves (paper §V-B, Fig. 10).
 //!
-//! Run with: `cargo run --release -p npu-core --example scale_two_npus`
+//! Run with: `cargo run --release --example scale_two_npus`
 
 use npu_core::prelude::*;
 

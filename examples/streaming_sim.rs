@@ -3,7 +3,7 @@
 //! the analytical pipelining latency, and a 30 FPS feed shows why the
 //! paper's dual-NPU scaling matters (one NPU sustains ~11 FPS).
 //!
-//! Run with: `cargo run --release -p npu-core --example streaming_sim`
+//! Run with: `cargo run --release --example streaming_sim`
 
 use npu_core::prelude::*;
 

@@ -1,0 +1,266 @@
+//! Offline stub of the `proptest` property-testing framework.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), range strategies over integers and floats,
+//! [`sample::select`], [`collection::vec`], and the `prop_assert*`
+//! macros. Cases are sampled from a deterministic seeded generator;
+//! unlike real proptest there is **no shrinking** — a failing case
+//! panics with the sampled inputs left to the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and built-in strategies.
+
+    use std::ops::Range;
+
+    use super::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $via:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range::<$via>(self.start as $via..self.end as $via) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => usize,
+        f32 => f64, f64 => f64
+    );
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    // i128 arithmetic: the widest supported span
+                    // (i64::MIN..i64::MAX) still fits in u64.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.gen_range::<u64>(0..span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+}
+
+pub mod sample {
+    //! Strategies choosing among explicit values.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniform choice from a fixed list (see [`select`]).
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+
+    /// Strategy drawing uniformly from `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at sampling time if `choices` is empty.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        Select { choices }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::ops::Range;
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy producing `Vec`s (see [`vec()`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing vectors of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case configuration.
+
+    /// Mirrors `proptest::test_runner::ProptestConfig`: only the number
+    /// of cases is honoured by the stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the case stream; each property test uses its own stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample from a half-open range.
+    pub fn gen_range<T: rand::SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        self.inner.gen_range(range)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` shorthand module (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a property-test condition (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality within a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality within a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            // Per-test deterministic seed, derived from the test name.
+            let __seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            let mut __rng = $crate::TestRng::new(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn select_draws_from_choices(d in prop::sample::select(vec![2u64, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&d));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in crate::collection::vec(0usize..5, 1..9)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stub of the `rand` crate.
+//!
+//! Provides [`rngs::StdRng`], [`SeedableRng`] and [`Rng::gen_range`] —
+//! the surface the discrete-event simulator uses for arrival jitter.
+//! The generator is SplitMix64: deterministic, seedable and
+//! statistically adequate for jitter sampling (it is *not* the real
+//! `StdRng`'s ChaCha12, so streams differ from upstream `rand`, but all
+//! simulator seeds are workspace-internal).
+
+use std::ops::Range;
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation over a [`Range`].
+pub trait Rng {
+    /// The next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Maps 64 raw bits onto the range.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        // 53 mantissa bits -> uniform in [0, 1).
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let x = range.start + unit * (range.end - range.start);
+        // Rounding can land exactly on `end`; keep the half-open contract.
+        x.min(range.end.next_down())
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        range.start + bits % (range.end - range.start)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        range.start + (bits % (range.end - range.start) as u64) as usize
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stands in for rand's
+    /// ChaCha12-based `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_worst_case_bits_stay_below_end() {
+        // All-ones mantissa bits round toward `end`; the clamp must keep
+        // the half-open contract even then.
+        for range in [1.0..2.0, 1e16..1e16 + 4.0] {
+            let x = super::SampleUniform::sample(u64::MAX, range.clone());
+            assert!(x < range.end, "{x} escaped {range:?}");
+        }
+    }
+
+    #[test]
+    fn u64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5u64..9);
+            assert!((5..9).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Round-trip tests of the `serde_derive` stub across the type shapes
+//! this workspace uses (and the parser edge cases it must survive).
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Named {
+    id: u64,
+    scale: f64,
+    label: String,
+    maybe: Option<i32>,
+    xs: Vec<u8>,
+    pair: (u32, bool),
+    map: BTreeMap<u64, String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NewType(u64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tuple(u64, String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    Empty,
+    One(u64),
+    Two(u64, f64),
+    Fields { a: u64, b: String },
+}
+
+/// A field type containing a `->` return arrow: the type skipper must
+/// not treat its `>` as a closing angle bracket and drop later fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WithArrow {
+    marker: PhantomData<fn(u64) -> u64>,
+    count: u64,
+}
+
+fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+    let back = T::from_value(&value.to_value()).expect("round trip");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn named_struct_round_trips() {
+    round_trip(&Named {
+        id: 7,
+        scale: 0.125,
+        label: "l".into(),
+        maybe: Some(-3),
+        xs: vec![1, 2, 3],
+        pair: (9, true),
+        map: BTreeMap::from([(4, "four".into())]),
+    });
+}
+
+#[test]
+fn newtype_is_transparent() {
+    round_trip(&NewType(42));
+    assert_eq!(NewType(42).to_value(), Value::UInt(42));
+}
+
+#[test]
+fn tuple_and_unit_structs_round_trip() {
+    round_trip(&Tuple(1, "x".into()));
+    round_trip(&Unit);
+}
+
+#[test]
+fn enum_variants_round_trip() {
+    for v in [
+        Mixed::Empty,
+        Mixed::One(5),
+        Mixed::Two(6, 1.5),
+        Mixed::Fields {
+            a: 8,
+            b: "y".into(),
+        },
+    ] {
+        round_trip(&v);
+    }
+    assert_eq!(Mixed::Empty.to_value(), Value::String("Empty".into()));
+}
+
+#[test]
+fn return_arrow_in_field_type_keeps_later_fields() {
+    let v = WithArrow {
+        marker: PhantomData,
+        count: 11,
+    };
+    assert_eq!(v.to_value().get("count"), Some(&Value::UInt(11)));
+    round_trip(&v);
+}

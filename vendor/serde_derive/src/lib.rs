@@ -1,0 +1,410 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants), with no
+//! `#[serde(...)]` attributes — by hand-parsing the `proc_macro` token
+//! stream (the environment has no network, so `syn`/`quote` are
+//! unavailable). Generated impls target the vendored `serde` stub's
+//! `Value`-tree traits and follow real serde conventions: structs become
+//! objects, newtype structs are transparent, unit variants become
+//! strings and data variants single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Unnamed(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Data) -> String) -> TokenStream {
+    let generated = match parse(input) {
+        Ok((name, data)) => gen(&name, &data),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name [generics] body` into the
+/// type name and its field layout.
+fn parse(input: TokenStream) -> Result<(String, Data), String> {
+    let mut tokens = input.into_iter().peekable();
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                return Err(format!("unexpected token `{word}` before struct/enum"));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+            None => return Err("ran out of tokens before struct/enum".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stub: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let data = if kind == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok((name, data))
+}
+
+/// Parses `{ [attrs] [vis] name: Type, ... }` field lists.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility ahead of the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected field token `{other}`")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        // The '>' of a '->' return arrow (fn-pointer
+                        // types) is not a closing bracket.
+                        '>' if !prev_dash => angle_depth -= 1,
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                    prev_dash = p.as_char() == '-';
+                }
+                Some(_) => prev_dash = false,
+            }
+        }
+    }
+}
+
+/// Counts the comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // '->' return arrows do not close an angle bracket.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        saw_tokens = true;
+    }
+    count + usize::from(saw_tokens)
+}
+
+/// Parses `{ [attrs] Variant[(..)|{..}][= disc], ... }` enum bodies.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected variant token `{other}`")),
+            }
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                tokens.next();
+                Fields::Unnamed(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip any discriminant up to the separating comma.
+        loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn gen_serialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Fields::Unnamed(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Named(fields)) => named_fields_to_object(fields, "self."),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::String(::std::string::String::from({variant:?})),"
+                    ),
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{variant}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from({variant:?}), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = named_fields_to_object(fields, "");
+                        format!(
+                            "{name}::{variant} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from({variant:?}), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Object` expression serializing `fields`; `prefix` is `self.` for
+/// struct fields or empty for match-arm bindings.
+fn named_fields_to_object(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Struct(Fields::Unnamed(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__element(__items, {i})?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected array for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let ctor = named_fields_from_object(fields);
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {ctor})"
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(variant, _)| {
+                    format!("{variant:?} => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(variant, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Unnamed(1) => Some(format!(
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::__element(__items, {i})?"))
+                            .collect();
+                        Some(format!(
+                            "{variant:?} => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant array\"))?;\n\
+                             ::std::result::Result::Ok({name}::{variant}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = named_fields_from_object(fields);
+                        Some(format!(
+                            "{variant:?} => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{variant} {ctor})\n\
+                             }}"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                         {data}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"expected \", {name:?}, \" variant\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `{ field: __field(__obj, "field")?, ... }` constructor body.
+fn named_fields_from_object(fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__obj, {f:?})?"))
+        .collect();
+    format!("{{ {} }}", entries.join(", "))
+}
