@@ -7,9 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use npu_dnn::models::attention::{fusion_block, FusionConfig};
 use npu_dnn::models::{fe_bfpn, BifpnConfig, FeConfig};
 use npu_dnn::{Layer, OpKind, PerceptionConfig};
-use npu_maestro::{graph_cost, Accelerator, CostModel, FittedMaestro};
+use npu_maestro::{graph_cost, Accelerator, CostModel, FittedMaestro, MemoCostModel};
 use npu_mcm::McmPackage;
 use npu_pipesim::{simulate, SimConfig};
+use npu_sched::sweep::chiplet_count_sweep;
 use npu_sched::{evaluate, MatcherConfig, ThroughputMatcher};
 use npu_tensor::Dtype;
 
@@ -52,6 +53,43 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("simulate_8_frames", |b| {
         b.iter(|| simulate(&outcome.schedule, &pkg, &model, &SimConfig::saturated(8)))
+    });
+    g.finish();
+
+    // The memoized cost model: a cold cache pays one hash per query, a
+    // warm cache replaces the whole analytic evaluation with a lookup.
+    c.bench_function("layer_cost_memoized_warm", |b| {
+        let memo = MemoCostModel::new(&model);
+        memo.layer_cost(&qkv, &os);
+        b.iter(|| memo.layer_cost(&qkv, &os))
+    });
+
+    // Serial vs parallel execution of a small sweep grid: the same
+    // eight points, jobs pinned to 1 vs all cores. On a multi-core host
+    // the parallel entry must beat the serial one; the BENCH_*.json
+    // tracker records the gap. Results are bit-identical either way
+    // (asserted by tests/par_determinism.rs).
+    let grid: [(u32, u32); 8] = [
+        (2, 2),
+        (3, 2),
+        (2, 3),
+        (3, 3),
+        (4, 2),
+        (2, 4),
+        (4, 3),
+        (3, 4),
+    ];
+    let mut g = c.benchmark_group("sweep_grid");
+    g.sample_size(10);
+    g.bench_function("serial_jobs1", |b| {
+        b.iter(|| npu_par::with_jobs(1, || chiplet_count_sweep(&pipeline, &grid, &model)))
+    });
+    g.bench_function("parallel_all_cores", |b| {
+        b.iter(|| {
+            npu_par::with_jobs(npu_par::available_jobs(), || {
+                chiplet_count_sweep(&pipeline, &grid, &model)
+            })
+        })
     });
     g.finish();
 }

@@ -2,10 +2,12 @@
 //! line.
 //!
 //! ```text
-//! repro            # everything
-//! repro fig3       # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
-//!                  # fig9, fig10, fig11, table1, table2, table3)
-//! repro --json ... # machine-readable, one JSON document per artifact
+//! repro             # everything
+//! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
+//!                   # fig9, fig10, fig11, table1, table2, table3)
+//! repro --json ...  # machine-readable, one JSON document per artifact
+//! repro --jobs N .. # worker threads for the sweep grids (default: all
+//!                   # cores; results are identical at any N)
 //! ```
 
 use std::env;
@@ -64,12 +66,56 @@ fn expected_names() -> String {
     format!("{} or all", names.join(", "))
 }
 
+/// Parses the leading flags (`--json`, `--jobs N` / `--jobs=N`, in any
+/// order), leaving only artifact names in `args`. Returns the JSON flag
+/// and the requested worker count (`None` = not given), or an error
+/// message for a malformed `--jobs`. Pure: the caller applies the jobs
+/// value to the executor.
+fn parse_flags(args: &mut Vec<String>) -> Result<(bool, Option<usize>), String> {
+    let mut json = false;
+    let mut jobs: Option<usize> = None;
+    while let Some(first) = args.first().cloned() {
+        if first == "--json" {
+            json = true;
+            args.remove(0);
+        } else if first == "--jobs" {
+            args.remove(0);
+            let value = (!args.is_empty()).then(|| args.remove(0));
+            jobs = Some(parse_jobs(value.as_deref())?);
+        } else if let Some(value) = first.strip_prefix("--jobs=") {
+            jobs = Some(parse_jobs(Some(value))?);
+            args.remove(0);
+        } else {
+            break;
+        }
+    }
+    Ok((json, jobs))
+}
+
+fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
+    let value = value.ok_or("--jobs expects a worker count".to_string())?;
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs expects a positive integer, got `{value}`")),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
-    let json = args.first().map(|a| a == "--json").unwrap_or(false);
-    if json {
-        args.remove(0);
-    }
+    let json = match parse_flags(&mut args) {
+        Ok((json, jobs)) => {
+            // Explicit N pins the worker-pool width; otherwise all
+            // cores. Results are bit-identical either way (see npu-par).
+            if let Some(jobs) = jobs {
+                npu_par::set_default_jobs(jobs);
+            }
+            json
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() {
         args.push("all".to_string());
     }
@@ -127,5 +173,27 @@ mod tests {
         for a in &ARTIFACTS {
             assert!(listing.contains(a.name));
         }
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let mut args: Vec<String> = ["--jobs", "2", "--json", "fig3"].map(String::from).to_vec();
+        assert_eq!(parse_flags(&mut args), Ok((true, Some(2))));
+        assert_eq!(args, vec!["fig3".to_string()]);
+
+        let mut args: Vec<String> = ["--json", "--jobs=4"].map(String::from).to_vec();
+        assert_eq!(parse_flags(&mut args), Ok((true, Some(4))));
+        assert!(args.is_empty());
+
+        let mut args: Vec<String> = ["fig3".to_string()].to_vec();
+        assert_eq!(parse_flags(&mut args), Ok((false, None)));
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn malformed_jobs_flags_error_out() {
+        assert!(parse_flags(&mut vec!["--jobs".to_string()]).is_err());
+        assert!(parse_flags(&mut vec!["--jobs".to_string(), "0".to_string()]).is_err());
+        assert!(parse_flags(&mut vec!["--jobs=notanumber".to_string()]).is_err());
     }
 }

@@ -72,3 +72,35 @@ fn text_mode_renders_the_artifact() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Fig. 3"), "stdout: {stdout}");
 }
+
+#[test]
+fn jobs_flag_is_accepted_and_output_is_jobs_invariant() {
+    let one = repro(&["--jobs", "1", "fig3"]);
+    assert!(one.status.success(), "repro --jobs 1 fig3 failed");
+    let two = repro(&["--jobs=2", "fig3"]);
+    assert!(two.status.success(), "repro --jobs=2 fig3 failed");
+    assert_eq!(
+        String::from_utf8(one.stdout).unwrap(),
+        String::from_utf8(two.stdout).unwrap(),
+        "worker count must not change rendered results"
+    );
+}
+
+#[test]
+fn jobs_flag_composes_with_json_in_any_order() {
+    let out = repro(&["--jobs", "2", "--json", "fig3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    assert!(value.as_object().is_some());
+}
+
+#[test]
+fn malformed_jobs_flag_exits_nonzero() {
+    for bad in [&["--jobs", "0"][..], &["--jobs", "x"], &["--jobs"]] {
+        let out = repro(bad);
+        assert!(!out.status.success(), "args {bad:?} should fail");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("--jobs expects"), "stderr: {stderr}");
+    }
+}

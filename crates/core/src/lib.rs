@@ -31,12 +31,14 @@
 //! | [`sched`] | sharding, Algorithm 1, baselines, trunk DSE |
 //! | [`pipesim`] | discrete-event validation simulator |
 //! | [`experiments`] | every paper table & figure, regenerated |
+//! | [`par`] | scoped-thread parallel sweep executor (`par_map`) |
 
 pub use npu_dnn as dnn;
 pub use npu_experiments as experiments;
 pub use npu_maestro as maestro;
 pub use npu_mcm as mcm;
 pub use npu_noc as noc;
+pub use npu_par as par;
 pub use npu_pipesim as pipesim;
 pub use npu_sched as sched;
 pub use npu_tensor as tensor;

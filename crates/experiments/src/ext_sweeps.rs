@@ -28,18 +28,33 @@ pub struct ExtSweeps {
     pub nop_bandwidth: Vec<NopPoint>,
 }
 
-/// Runs both sweeps.
+/// Runs all three sweeps.
+///
+/// The sweeps (and the grid points inside each, via `npu-sched`) fan out
+/// on the `npu-par` worker pool; results are deterministic and identical
+/// to a serial run at any jobs count.
 pub fn run() -> ExtSweeps {
     let pipeline = PerceptionConfig::default().build();
     let model = FittedMaestro::new();
+    let (scaling, (failures, nop_bandwidth)) = npu_par::join(
+        || {
+            chiplet_count_sweep(
+                &pipeline,
+                &[(3, 3), (4, 4), (5, 5), (6, 6), (9, 6), (12, 6)],
+                &model,
+            )
+        },
+        || {
+            npu_par::join(
+                || failure_sweep(&pipeline, &[0, 3, 6, 9, 12], &model),
+                || nop_bandwidth_sweep(&pipeline, &[100.0, 25.0, 10.0, 1.0, 0.1], &model),
+            )
+        },
+    );
     ExtSweeps {
-        scaling: chiplet_count_sweep(
-            &pipeline,
-            &[(3, 3), (4, 4), (5, 5), (6, 6), (9, 6), (12, 6)],
-            &model,
-        ),
-        failures: failure_sweep(&pipeline, &[0, 3, 6, 9, 12], &model),
-        nop_bandwidth: nop_bandwidth_sweep(&pipeline, &[100.0, 25.0, 10.0, 1.0, 0.1], &model),
+        scaling,
+        failures,
+        nop_bandwidth,
     }
 }
 

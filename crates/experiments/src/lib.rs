@@ -43,18 +43,24 @@ mod text;
 pub use text::TextTable;
 
 /// Every experiment rendered one after another (the full reproduction).
+///
+/// The artifacts are independent, so they are generated concurrently on
+/// the `npu-par` worker pool (`repro --jobs N` controls the width) and
+/// concatenated in the paper's section order — the rendered report is
+/// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let mut out = String::new();
-    out.push_str(&fig3::run().to_string());
-    out.push_str(&fig4::run().to_string());
-    out.push_str(&fig5to8::run().to_string());
-    out.push_str(&fig9::run().to_string());
-    out.push_str(&table1::run().to_string());
-    out.push_str(&table2::run().to_string());
-    out.push_str(&fig10::run().to_string());
-    out.push_str(&table3::run().to_string());
-    out.push_str(&fig11::run().to_string());
-    out.push_str(&ablations::run().to_string());
-    out.push_str(&ext_sweeps::run().to_string());
-    out
+    let sections: [fn() -> String; 11] = [
+        || fig3::run().to_string(),
+        || fig4::run().to_string(),
+        || fig5to8::run().to_string(),
+        || fig9::run().to_string(),
+        || table1::run().to_string(),
+        || table2::run().to_string(),
+        || fig10::run().to_string(),
+        || table3::run().to_string(),
+        || fig11::run().to_string(),
+        || ablations::run().to_string(),
+        || ext_sweeps::run().to_string(),
+    ];
+    npu_par::par_map(&sections, |section| section()).concat()
 }

@@ -10,6 +10,8 @@
 //! - `tests/des_vs_analytic.rs` — discrete-event vs analytical drift;
 //! - `tests/cross_crate_properties.rs` — property-based invariants
 //!   spanning the component crates;
+//! - `tests/par_determinism.rs` — DSE and sweeps bit-identical at any
+//!   `npu-par` worker count;
 //! - `examples/*.rs` — the five runnable walkthroughs listed in the
 //!   top-level README (`cargo run --release --example quickstart`, ...).
 //!

@@ -47,8 +47,11 @@ impl LayerCost {
 /// An analytical per-layer cost oracle.
 ///
 /// Implementations must be deterministic: the schedulers call them
-/// repeatedly during search.
-pub trait CostModel {
+/// repeatedly during search. They must also be `Send + Sync` — the
+/// parallel sweep executor (`npu-par`) shares one model across worker
+/// threads, so interior state (e.g. [`crate::MemoCostModel`]'s cache)
+/// must be thread-safe.
+pub trait CostModel: Send + Sync {
     /// Cost of `layer` on `acc`.
     fn layer_cost(&self, layer: &Layer, acc: &Accelerator) -> LayerCost;
 

@@ -16,6 +16,9 @@
 //! * [`cost`] combines both into [`CostModel`] implementations:
 //!   [`FittedMaestro`] (default, paper-calibrated) and
 //!   [`FirstPrinciples`] (an independent roofline model for ablations).
+//! * [`memo`] wraps any model in a sharded, thread-safe memoization
+//!   cache ([`MemoCostModel`]) so the parallel sweep executor computes
+//!   each distinct `(accelerator, layer, dtype)` cost once per sweep.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod cost;
 pub mod energy;
 pub mod mapper;
 pub mod mapping;
+pub mod memo;
 pub mod pe_array;
 pub mod profile;
 pub mod report;
@@ -48,6 +52,7 @@ pub use accelerator::{Accelerator, Dataflow};
 pub use cost::{CostModel, FirstPrinciples, FittedMaestro, LayerCost};
 pub use energy::{breakdown, AccessEnergies, EnergyBreakdown};
 pub use mapper::{best_geometry, geometry_sweep, GeometryPoint};
+pub use memo::MemoCostModel;
 pub use pe_array::PeArray;
 pub use profile::DataflowProfile;
 pub use report::{graph_cost, ClassBreakdown, GraphCost};

@@ -1,0 +1,277 @@
+//! A sharded memoization cache over any [`CostModel`].
+//!
+//! The sweep grids (trunk DSE, chiplet-count / failure / NoP sweeps) and
+//! the throughput matcher's repeated schedule evaluations ask the cost
+//! oracle the *same* `(accelerator, layer)` questions thousands of times:
+//! every sweep point re-scores the same perception layers on the same
+//! 256-PE chiplet templates. [`MemoCostModel`] wraps any inner model and
+//! answers repeats from a sharded hash map, so each distinct evaluation
+//! is computed once per sweep — including across the worker threads of
+//! `npu-par`, which share one cache through `&MemoCostModel`.
+//!
+//! Because the inner model is required to be deterministic (see
+//! [`CostModel`]), caching returns bit-identical results: a memoized
+//! sweep equals the uncached serial sweep exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use npu_dnn::{Layer, OpKind};
+//! use npu_maestro::{Accelerator, CostModel, FittedMaestro, MemoCostModel};
+//!
+//! let inner = FittedMaestro::new();
+//! let memo = MemoCostModel::new(&inner);
+//! let acc = Accelerator::shidiannao_like(256);
+//! let layer = Layer::intrinsic(
+//!     "qkv",
+//!     OpKind::Dense { tokens: 12_800, in_features: 256, out_features: 768 },
+//! );
+//! let first = memo.layer_cost(&layer, &acc);
+//! let again = memo.layer_cost(&layer, &acc); // served from the cache
+//! assert_eq!(first, again);
+//! assert_eq!(memo.stats(), (1, 1)); // (hits, misses)
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use npu_dnn::{Layer, OpKind};
+use npu_tensor::{Dtype, TensorShape};
+
+use crate::accelerator::{Accelerator, Dataflow};
+use crate::cost::{CostModel, LayerCost};
+
+/// Number of independently locked cache shards. Sixteen keeps lock
+/// contention negligible at the executor's default worker counts while
+/// staying cheap to allocate per sweep.
+const SHARDS: usize = 16;
+
+/// The non-name part of the cache key, all `Copy`: accelerator
+/// dataflow, geometry and clock, plus the layer's operator and output
+/// shape and the accounting dtype — everything
+/// [`CostModel::layer_cost`] may depend on besides the profile.
+///
+/// The profile itself is identified by the accelerator *name* (the
+/// first level of each shard's map): the in-tree constructors
+/// (`shidiannao_like`, `nvdla_like`, `eyeriss_like`) encode the cost
+/// profile in the name, so callers building custom [`Accelerator::new`]
+/// instances must give distinct names to distinct profiles (documented
+/// on [`MemoCostModel`]).
+type LayerKey = (Dataflow, (u64, u64), u64, OpKind, TensorShape, Dtype);
+
+fn layer_key(layer: &Layer, acc: &Accelerator, dtype: Dtype) -> LayerKey {
+    (
+        acc.dataflow(),
+        acc.array().dims(),
+        acc.array().frequency().as_hz().to_bits(),
+        layer.op(),
+        layer.out(),
+        dtype,
+    )
+}
+
+fn shard_of(acc_name: &str, key: &LayerKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    acc_name.hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// One shard: accelerator name (looked up by `&str`, so cache hits
+/// allocate nothing) to that accelerator's layer-cost table.
+type Shard = Mutex<HashMap<String, HashMap<LayerKey, LayerCost>>>;
+
+/// A thread-safe memoizing wrapper around a [`CostModel`].
+///
+/// Keys are `(accelerator identity, layer operator + output shape,
+/// dtype)`; values are the inner model's [`LayerCost`]s, verbatim.
+/// Shared across `npu-par` worker threads by reference: the shards are
+/// individually locked, and a racing double-compute of the same key is
+/// benign (both workers store the same deterministic value).
+///
+/// **Caveat:** accelerator identity includes the name but not the cost
+/// profile's coefficients. Distinct profiles must use distinct
+/// accelerator names (all in-tree constructors do).
+pub struct MemoCostModel<'m> {
+    inner: &'m dyn CostModel,
+    name: String,
+    dtype: Dtype,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'m> MemoCostModel<'m> {
+    /// Wraps `inner` with an empty cache (FP16 NoP-accounting key slot).
+    pub fn new(inner: &'m dyn CostModel) -> Self {
+        MemoCostModel::with_dtype(inner, Dtype::Fp16)
+    }
+
+    /// Wraps `inner`, tagging cache keys with `dtype`.
+    ///
+    /// The stock models' latencies are dtype-independent, but the key
+    /// carries the datatype so quantization-aware models can be wrapped
+    /// without aliasing FP16 and INT8 entries.
+    pub fn with_dtype(inner: &'m dyn CostModel, dtype: Dtype) -> Self {
+        MemoCostModel {
+            inner,
+            name: format!("memo({})", inner.name()),
+            dtype,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct `(accelerator, layer, dtype)` entries cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("no poisoned shard")
+                    .values()
+                    .map(HashMap::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for MemoCostModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("MemoCostModel")
+            .field("inner", &self.inner.name())
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+impl CostModel for MemoCostModel<'_> {
+    fn layer_cost(&self, layer: &Layer, acc: &Accelerator) -> LayerCost {
+        let key = layer_key(layer, acc, self.dtype);
+        let shard = &self.shards[shard_of(acc.name(), &key)];
+        // Hit path: borrowed `&str` lookup + `Copy` tuple key — no
+        // allocation on the matcher's hottest path.
+        if let Some(cached) = shard
+            .lock()
+            .expect("no poisoned shard")
+            .get(acc.name())
+            .and_then(|per_acc| per_acc.get(&key))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        // Compute outside the lock: misses are the expensive path and
+        // must not serialize the other workers' hits on this shard.
+        let cost = self.inner.layer_cost(layer, acc);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("no poisoned shard")
+            .entry(acc.name().to_string())
+            .or_default()
+            .insert(key, cost);
+        cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FittedMaestro;
+    use npu_dnn::OpKind;
+
+    fn qkv() -> Layer {
+        Layer::intrinsic(
+            "qkv",
+            OpKind::Dense {
+                tokens: 12_800,
+                in_features: 256,
+                out_features: 768,
+            },
+        )
+    }
+
+    #[test]
+    fn cache_returns_bit_identical_costs() {
+        let inner = FittedMaestro::new();
+        let memo = MemoCostModel::new(&inner);
+        let os = Accelerator::shidiannao_like(256);
+        let direct = inner.layer_cost(&qkv(), &os);
+        let miss = memo.layer_cost(&qkv(), &os);
+        let hit = memo.layer_cost(&qkv(), &os);
+        assert_eq!(direct, miss);
+        assert_eq!(direct, hit);
+        assert_eq!(memo.stats(), (1, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_accelerators_do_not_alias() {
+        let inner = FittedMaestro::new();
+        let memo = MemoCostModel::new(&inner);
+        let os = memo.layer_cost(&qkv(), &Accelerator::shidiannao_like(256));
+        let ws = memo.layer_cost(&qkv(), &Accelerator::nvdla_like(256));
+        assert_ne!(os.latency, ws.latency);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn renamed_layers_with_equal_shape_share_an_entry() {
+        // The key is the operator + shape, not the layer name: shard #0
+        // and shard #1 of the same split cost the same.
+        let inner = FittedMaestro::new();
+        let memo = MemoCostModel::new(&inner);
+        let os = Accelerator::shidiannao_like(256);
+        memo.layer_cost(&qkv(), &os);
+        memo.layer_cost(&qkv().renamed("qkv.shard1"), &os);
+        assert_eq!(memo.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let inner = FittedMaestro::new();
+        let memo = MemoCostModel::new(&inner);
+        let os = Accelerator::shidiannao_like(256);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| memo.layer_cost(&qkv(), &os));
+            }
+        });
+        let (hits, misses) = memo.stats();
+        assert_eq!(hits + misses, 4);
+        assert_eq!(memo.len(), 1, "racing threads converge on one entry");
+    }
+
+    #[test]
+    fn name_reflects_the_inner_model() {
+        let inner = FittedMaestro::new();
+        let memo = MemoCostModel::new(&inner);
+        assert_eq!(memo.name(), "memo(fitted-maestro)");
+        assert!(memo.is_empty());
+        assert!(format!("{memo:?}").contains("fitted-maestro"));
+    }
+}

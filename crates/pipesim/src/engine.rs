@@ -27,13 +27,24 @@ pub struct SimConfig {
     pub arrival_jitter: f64,
     /// Seed for the jitter stream (deterministic simulations).
     pub seed: u64,
-    /// Frames discarded from the steady-state statistics at both ends.
+    /// Frames discarded from the steady-state statistics at **each end**
+    /// of the run: the first `warmup` frames (pipeline fill) and the last
+    /// `warmup` frames (pipeline drain). The report clamps the trim so
+    /// the measured window keeps at least one frame.
     pub warmup: usize,
     /// NoP accounting datatype.
     pub dtype: Dtype,
 }
 
 impl SimConfig {
+    /// Default symmetric trim for an `frames`-frame run: a quarter of the
+    /// run from each end, capped at 4 frames. Short runs keep most of
+    /// their frames measurable (`frames ≤ 4` trims at most one per end),
+    /// long runs trim a fixed 4.
+    pub fn default_warmup(frames: usize) -> usize {
+        (frames / 4).min(4)
+    }
+
     /// Saturation mode: measure the sustainable frame rate.
     pub fn saturated(frames: usize) -> Self {
         SimConfig {
@@ -41,7 +52,7 @@ impl SimConfig {
             arrival_interval: None,
             arrival_jitter: 0.0,
             seed: 0,
-            warmup: frames.min(4),
+            warmup: SimConfig::default_warmup(frames),
             dtype: Dtype::Fp16,
         }
     }
@@ -53,7 +64,7 @@ impl SimConfig {
             arrival_interval: Some(Seconds::new(1.0 / fps)),
             arrival_jitter: 0.0,
             seed: 0,
-            warmup: frames.min(4),
+            warmup: SimConfig::default_warmup(frames),
             dtype: Dtype::Fp16,
         }
     }
@@ -286,6 +297,61 @@ mod tests {
     use npu_dnn::StageKind;
     use npu_maestro::FittedMaestro;
     use npu_sched::{LayerPlan, ModelPlan, StagePlan};
+
+    /// Small-run warmup clamping: a quarter of the run per end, capped
+    /// at 4, so `frames ≤ 4` never trims the window away.
+    #[test]
+    fn default_warmup_clamps_small_runs() {
+        for (frames, expected) in [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 1),
+            (8, 2),
+            (12, 3),
+            (16, 4),
+            (1000, 4),
+        ] {
+            assert_eq!(
+                SimConfig::saturated(frames).warmup,
+                expected,
+                "saturated({frames})"
+            );
+            assert_eq!(
+                SimConfig::camera(frames, 30.0).warmup,
+                expected,
+                "camera({frames})"
+            );
+        }
+    }
+
+    /// A `frames ≤ 4` saturation run keeps a non-degenerate window: the
+    /// interval comes from real completion deltas, not the fallback.
+    #[test]
+    fn four_frame_run_measures_a_real_interval() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![ModelPlan::on_single_chiplet("s", g, ChipletId(0))],
+                region: vec![ChipletId(0)],
+            }],
+        };
+        let rep = simulate(&schedule, &pkg, &model, &SimConfig::saturated(4));
+        // warmup = 1 per end: two frames stay measurable.
+        assert_eq!(rep.measured_frames, 2);
+        let analytic = npu_sched::evaluate(&schedule, &pkg, &model, Dtype::Fp16).pipe;
+        let rel = (rep.steady_interval.as_secs() / analytic.as_secs() - 1.0).abs();
+        assert!(
+            rel < 1e-9,
+            "DES {} vs analytic {}",
+            rep.steady_interval,
+            analytic
+        );
+    }
 
     /// A chain on a single chiplet: interval must equal the serial sum.
     #[test]

@@ -21,7 +21,8 @@ pub struct SimReport {
     pub max_latency: Seconds,
     /// Sustained throughput in frames/second.
     pub throughput_fps: f64,
-    /// Frames measured (after warm-up trimming).
+    /// Frames measured: the steady-state window left after trimming
+    /// `warmup` frames from each end of the run.
     pub measured_frames: usize,
     /// Per-chiplet busy fraction over the whole run.
     busy: BTreeMap<ChipletId, f64>,
@@ -37,17 +38,37 @@ impl SimReport {
         cfg: &SimConfig,
     ) -> SimReport {
         let n = completions.len();
-        let lo = cfg.warmup.min(n.saturating_sub(1));
-        let hi = n.saturating_sub(1);
-        let window = &completions[lo..=hi.max(lo)];
+        // A zero-frame run measures nothing; report zeros rather than
+        // indexing into empty slices below.
+        if n == 0 {
+            return SimReport {
+                steady_interval: Seconds::ZERO,
+                mean_latency: Seconds::ZERO,
+                max_latency: Seconds::ZERO,
+                throughput_fps: 0.0,
+                measured_frames: 0,
+                busy: busy_time.keys().map(|&c| (c, 0.0)).collect(),
+            };
+        }
+        // Symmetric trim: `warmup` frames of pipeline fill at the head
+        // AND `warmup` frames of drain at the tail (cool-down frames
+        // finish faster than steady state once upstream pressure stops,
+        // and would bias the interval low). Clamped so the steady-state
+        // window always keeps at least one frame.
+        let trim = cfg.warmup.min(n.saturating_sub(1) / 2);
+        let (lo, hi) = (trim, n - trim);
+        let window = &completions[lo..hi];
 
         let steady_interval = if window.len() >= 2 {
             Seconds::new((window[window.len() - 1] - window[0]) / (window.len() - 1) as f64)
         } else {
-            Seconds::new(completions[0] - arrivals[0])
+            // One-frame window: fall back to that frame's service time.
+            Seconds::new(completions[lo] - arrivals[lo])
         };
 
-        let latencies: Vec<f64> = (lo..n).map(|i| completions[i] - arrivals[i]).collect();
+        // Every steady-state statistic uses the same trimmed window as
+        // `measured_frames` — latencies included.
+        let latencies: Vec<f64> = (lo..hi).map(|i| completions[i] - arrivals[i]).collect();
         let mean_latency =
             Seconds::new(latencies.iter().sum::<f64>() / latencies.len().max(1) as f64);
         let max_latency = Seconds::new(latencies.iter().copied().fold(0.0, f64::max));
@@ -97,9 +118,10 @@ mod tests {
         let mut busy = BTreeMap::new();
         busy.insert(ChipletId(0), 4.0);
         let cfg = SimConfig::saturated(4);
-        // warmup = min(4,4) = 4 -> clamped to n-1 = 3: window of 1.
+        // warmup = 4/4 = 1, trimmed from each end: window [2.0, 3.0].
         let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
-        assert_eq!(r.measured_frames, 1);
+        assert_eq!(r.measured_frames, 2);
+        assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
         assert!((r.busy_fraction(ChipletId(0)).unwrap() - 1.0).abs() < 1e-12);
 
         let cfg = SimConfig {
@@ -108,7 +130,80 @@ mod tests {
         };
         let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
         assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
-        assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12);
+        // Latencies come from the same trimmed window: frames 1 and 2.
+        assert!((r.mean_latency.as_secs() - 2.5).abs() < 1e-12);
+        assert!((r.max_latency.as_secs() - 3.0).abs() < 1e-12);
         assert_eq!(r.bottleneck().unwrap().0, ChipletId(0));
+    }
+
+    #[test]
+    fn cooldown_tail_is_trimmed() {
+        // Steady completions every 1 s, then a straggler cool-down frame
+        // at t = 9: with a 1-frame trim at each end neither the t = 1
+        // fill frame nor the t = 9 drain frame pollutes the stats.
+        let arrivals = vec![0.0; 5];
+        let completions = vec![1.0, 2.0, 3.0, 4.0, 9.0];
+        let busy = BTreeMap::new();
+        let cfg = SimConfig {
+            warmup: 1,
+            ..SimConfig::saturated(5)
+        };
+        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        assert_eq!(r.measured_frames, 3);
+        assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
+        assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12, "9.0 trimmed");
+        assert!((r.mean_latency.as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stats_share_the_steady_window() {
+        let arrivals = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let completions = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let busy = BTreeMap::new();
+        let cfg = SimConfig {
+            warmup: 2,
+            ..SimConfig::saturated(6)
+        };
+        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        // Window = frames 2..4 (completions 3.0, 4.0): two frames.
+        assert_eq!(r.measured_frames, 2);
+        assert!((r.mean_latency.as_secs() - 3.5).abs() < 1e-12);
+        assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_frame_run_reports_zeros() {
+        let mut busy = BTreeMap::new();
+        busy.insert(ChipletId(3), 0.0);
+        let r = SimReport::from_run(&[], &[], &busy, &SimConfig::saturated(0));
+        assert_eq!(r.measured_frames, 0);
+        assert!(r.steady_interval.is_zero());
+        assert_eq!(r.throughput_fps, 0.0);
+        assert_eq!(r.busy_fraction(ChipletId(3)), Some(0.0));
+    }
+
+    #[test]
+    fn tiny_runs_keep_a_nonempty_window() {
+        let busy = BTreeMap::new();
+        // One frame, huge warmup: the clamp keeps that frame and falls
+        // back to its service time for the interval.
+        let cfg = SimConfig {
+            warmup: 4,
+            ..SimConfig::saturated(1)
+        };
+        let r = SimReport::from_run(&[0.5], &[2.0], &busy, &cfg);
+        assert_eq!(r.measured_frames, 1);
+        assert!((r.steady_interval.as_secs() - 1.5).abs() < 1e-12);
+        assert!((r.mean_latency.as_secs() - 1.5).abs() < 1e-12);
+
+        // Three frames, warmup 4: trim clamps to (3-1)/2 = 1 per end.
+        let cfg = SimConfig {
+            warmup: 4,
+            ..SimConfig::saturated(3)
+        };
+        let r = SimReport::from_run(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0], &busy, &cfg);
+        assert_eq!(r.measured_frames, 1);
+        // One-frame window: interval falls back to frame 1's latency.
+        assert!((r.steady_interval.as_secs() - 2.0).abs() < 1e-12);
     }
 }

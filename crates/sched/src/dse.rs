@@ -25,7 +25,7 @@
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::{PerceptionPipeline, StageKind};
-use npu_maestro::CostModel;
+use npu_maestro::{CostModel, MemoCostModel};
 use npu_mcm::hetero::{het_candidates, with_ws_chiplets};
 use npu_mcm::{stage_regions, ChipletId, McmPackage};
 use npu_tensor::{Dtype, Seconds};
@@ -119,6 +119,12 @@ struct Combo {
 /// Explores one trunk variant by brute force and returns the best
 /// (minimum-EDP) feasible configuration, or the minimum-pipe configuration
 /// if nothing is feasible.
+///
+/// The search-space points are independent, so they are scored on the
+/// `npu-par` worker pool (`npu_par::current_jobs()` threads) behind a
+/// shared memoized cost model; results are folded in enumeration order,
+/// so the winning configuration — including tie-breaks — is bit-identical
+/// to the serial search at any jobs count.
 pub fn explore_trunks(
     pipeline: &PerceptionPipeline,
     pkg: &McmPackage,
@@ -126,6 +132,7 @@ pub fn explore_trunks(
     model: &dyn CostModel,
     cfg: DseConfig,
 ) -> DseResult {
+    let model = &MemoCostModel::new(model);
     let region = stage_regions(pkg, 4)[3].clone();
     let (het_pkg, ws_ids) = match variant {
         TrunkVariant::OsOnly => (pkg.clone(), Vec::new()),
@@ -146,28 +153,36 @@ pub fn explore_trunks(
 
     let trunk_stage = pipeline.stage(StageKind::Trunks);
 
-    let mut best: Option<(f64, Schedule, EvalReport, bool)> = None;
-    let mut searched = 0usize;
-
-    for combo in enumerate_combos(variant) {
-        let Some(stage_plan) = build_stage_plan(
+    // Score every combo on the worker pool; each point is independent.
+    let combos = enumerate_combos(variant);
+    let scored: Vec<Option<(Schedule, EvalReport, bool)>> = npu_par::par_map(&combos, |combo| {
+        let stage_plan = build_stage_plan(
             trunk_stage,
-            &combo,
+            combo,
             &os_pool,
             &ws_ids,
             variant,
             model,
             &het_pkg,
-        ) else {
-            continue;
-        };
-        searched += 1;
+        )?;
         let schedule = Schedule {
             stages: vec![stage_plan],
         };
         let report = evaluate(&schedule, &het_pkg, model, cfg.dtype);
         let feasible =
             report.pipe <= cfg.latency_constraint && cfg.e2e_budget.is_none_or(|b| report.e2e <= b);
+        Some((schedule, report, feasible))
+    });
+
+    // Fold in enumeration order: the strict `<` keeps the first minimum,
+    // exactly as the serial loop did.
+    let mut best: Option<(f64, Schedule, EvalReport, bool)> = None;
+    let mut searched = 0usize;
+    for (combo, entry) in combos.iter().zip(scored) {
+        let Some((schedule, report, feasible)) = entry else {
+            continue;
+        };
+        searched += 1;
         if std::env::var("DSE_DEBUG").is_ok() {
             eprintln!(
                 "combo {:?} pipe={:.1}ms e={:.1}mJ feas={}",
@@ -207,7 +222,10 @@ pub fn table1_variants(
     cfg: DseConfig,
 ) -> Vec<DseResult> {
     // The OS reference sets the E2E budget the heterogeneous variants must
-    // respect (paper Table I: E2E drifts by +0.1% only).
+    // respect (paper Table I: E2E drifts by +0.1% only). Each
+    // explore_trunks call memoizes its own variant's layer costs; the
+    // cross-variant repeats are a few hundred cheap queries, not worth a
+    // second cache layer here.
     let os = explore_trunks(pipeline, pkg, TrunkVariant::OsOnly, model, cfg);
     let budget = DseConfig {
         e2e_budget: Some(os.report.e2e * 1.02),

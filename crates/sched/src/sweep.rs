@@ -6,11 +6,21 @@
 //! * [`failure_sweep`] — chiplet failure injection: disable `k` chiplets
 //!   and re-run Algorithm 1 on the degraded package, measuring graceful
 //!   degradation (the modularity argument for chiplets in §I).
+//!
+//! Every sweep point is an independent schedule-and-score run, so the
+//! sweeps fan their grids out on the `npu-par` worker pool behind a
+//! shared [`MemoCostModel`]; results come back in input order and are
+//! bit-identical to a serial run at any jobs count (pin with
+//! `npu_par::with_jobs`). Caching is deliberately two-layer: this shared
+//! cache computes each distinct cost once *across* points, while the
+//! matcher's internal per-point cache (see `ThroughputMatcher::new`)
+//! absorbs the repeated hits *within* one match — the small double-store
+//! on first sight of an entry is the price of sharing safely.
 
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::PerceptionPipeline;
-use npu_maestro::{Accelerator, CostModel};
+use npu_maestro::{Accelerator, CostModel, MemoCostModel};
 use npu_mcm::McmPackage;
 use npu_noc::{LinkParams, Mesh2d};
 use npu_tensor::{Joules, Seconds};
@@ -46,24 +56,22 @@ pub fn chiplet_count_sweep(
     meshes: &[(u32, u32)],
     model: &dyn CostModel,
 ) -> Vec<SweepPoint> {
-    meshes
-        .iter()
-        .map(|&(w, h)| {
-            let pkg = package(w, h);
-            let cfg = MatcherConfig {
-                allow_fe_split: true,
-                ..MatcherConfig::default()
-            };
-            let outcome = ThroughputMatcher::new(model, cfg).minimize(pipeline, &pkg);
-            SweepPoint {
-                x: (w * h) as u64,
-                pipe: outcome.report.pipe,
-                e2e: outcome.report.e2e,
-                energy: outcome.report.energy(),
-                utilization: outcome.report.utilization_used,
-            }
-        })
-        .collect()
+    let memo = MemoCostModel::new(model);
+    npu_par::par_map(meshes, |&(w, h)| {
+        let pkg = package(w, h);
+        let cfg = MatcherConfig {
+            allow_fe_split: true,
+            ..MatcherConfig::default()
+        };
+        let outcome = ThroughputMatcher::new(&memo, cfg).minimize(pipeline, &pkg);
+        SweepPoint {
+            x: (w * h) as u64,
+            pipe: outcome.report.pipe,
+            e2e: outcome.report.e2e,
+            energy: outcome.report.energy(),
+            utilization: outcome.report.utilization_used,
+        }
+    })
 }
 
 /// Failure injection: re-schedules the pipeline on a 6×6 package with the
@@ -78,26 +86,24 @@ pub fn failure_sweep(
     failed: &[u64],
     model: &dyn CostModel,
 ) -> Vec<SweepPoint> {
-    failed
-        .iter()
-        .map(|&k| {
-            // Remove whole trailing rows/chiplets by rebuilding a smaller
-            // mesh: 36 - k chiplets arranged as close to 6x6 as possible.
-            let keep = 36u64.saturating_sub(k).max(4);
-            let w = 6u32;
-            let h = keep.div_ceil(u64::from(w)) as u32;
-            let pkg = package(w, h.max(1));
-            let outcome = ThroughputMatcher::new(model, MatcherConfig::default())
-                .match_throughput(pipeline, &pkg);
-            SweepPoint {
-                x: k,
-                pipe: outcome.report.pipe,
-                e2e: outcome.report.e2e,
-                energy: outcome.report.energy(),
-                utilization: outcome.report.utilization_used,
-            }
-        })
-        .collect()
+    let memo = MemoCostModel::new(model);
+    npu_par::par_map(failed, |&k| {
+        // Remove whole trailing rows/chiplets by rebuilding a smaller
+        // mesh: 36 - k chiplets arranged as close to 6x6 as possible.
+        let keep = 36u64.saturating_sub(k).max(4);
+        let w = 6u32;
+        let h = keep.div_ceil(u64::from(w)) as u32;
+        let pkg = package(w, h.max(1));
+        let outcome = ThroughputMatcher::new(&memo, MatcherConfig::default())
+            .match_throughput(pipeline, &pkg);
+        SweepPoint {
+            x: k,
+            pipe: outcome.report.pipe,
+            e2e: outcome.report.e2e,
+            energy: outcome.report.energy(),
+            utilization: outcome.report.utilization_used,
+        }
+    })
 }
 
 /// One NoP-bandwidth sensitivity point.
@@ -121,30 +127,31 @@ pub fn nop_bandwidth_sweep(
     bandwidths_gbps: &[f64],
     model: &dyn CostModel,
 ) -> Vec<NopPoint> {
-    bandwidths_gbps
-        .iter()
-        .map(|&gbps| {
-            let link = LinkParams {
-                bandwidth_bytes_per_sec: gbps * 1e9,
-                ..LinkParams::simba_28nm()
-            };
-            let pkg = McmPackage::simba_6x6().with_link(link);
-            let outcome = ThroughputMatcher::new(model, MatcherConfig::default())
-                .match_throughput(pipeline, &pkg);
-            let nop_total: f64 = outcome
-                .report
-                .nop_by_layer
-                .iter()
-                .map(|(_, l, _)| l.as_secs())
-                .sum();
-            let busy_total: f64 = outcome.report.busy.iter().map(|(_, b)| b.as_secs()).sum();
-            NopPoint {
-                bandwidth_gbps: gbps,
-                pipe: outcome.report.pipe,
-                nop_latency_share: nop_total / busy_total,
-            }
-        })
-        .collect()
+    // NoP transfer costs depend on the link parameters, not on
+    // `CostModel::layer_cost`, so one layer-cost cache is sound across
+    // the bandwidth grid.
+    let memo = MemoCostModel::new(model);
+    npu_par::par_map(bandwidths_gbps, |&gbps| {
+        let link = LinkParams {
+            bandwidth_bytes_per_sec: gbps * 1e9,
+            ..LinkParams::simba_28nm()
+        };
+        let pkg = McmPackage::simba_6x6().with_link(link);
+        let outcome = ThroughputMatcher::new(&memo, MatcherConfig::default())
+            .match_throughput(pipeline, &pkg);
+        let nop_total: f64 = outcome
+            .report
+            .nop_by_layer
+            .iter()
+            .map(|(_, l, _)| l.as_secs())
+            .sum();
+        let busy_total: f64 = outcome.report.busy.iter().map(|(_, b)| b.as_secs()).sum();
+        NopPoint {
+            bandwidth_gbps: gbps,
+            pipe: outcome.report.pipe,
+            nop_latency_share: nop_total / busy_total,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::{LayerId, OpClass, PerceptionPipeline, StageKind};
-use npu_maestro::CostModel;
+use npu_maestro::{CostModel, MemoCostModel};
 use npu_mcm::{stage_regions, ChipletId, McmPackage};
 use npu_tensor::{Dtype, Seconds};
 
@@ -101,14 +101,21 @@ pub struct MatchOutcome {
 
 /// Algorithm 1 implementation.
 pub struct ThroughputMatcher<'m> {
-    model: &'m dyn CostModel,
+    /// The caller's model behind a memoization cache: the matcher
+    /// re-evaluates the full schedule after every sharding step, so the
+    /// same `(accelerator, layer)` costs repeat hundreds of times per
+    /// match. The cache is bit-transparent (see [`MemoCostModel`]).
+    model: MemoCostModel<'m>,
     cfg: MatcherConfig,
 }
 
 impl<'m> ThroughputMatcher<'m> {
     /// Creates a matcher over a cost model.
     pub fn new(model: &'m dyn CostModel, cfg: MatcherConfig) -> Self {
-        ThroughputMatcher { model, cfg }
+        ThroughputMatcher {
+            model: MemoCostModel::with_dtype(model, cfg.dtype),
+            cfg,
+        }
     }
 
     /// Initial allocation (Algorithm 1 line 2): one region per stage; FE
@@ -199,7 +206,7 @@ impl<'m> ThroughputMatcher<'m> {
     ) -> MatchOutcome {
         let mut schedule = self.initial_schedule(pipeline, pkg);
         let mut trace = Vec::new();
-        let mut report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+        let mut report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
         trace.push(MatchStep {
             description: "initial quadrant allocation".to_string(),
             pipe: report.pipe,
@@ -228,7 +235,7 @@ impl<'m> ThroughputMatcher<'m> {
             // Inner loop: shard the longest shardable layer of the stage.
             match self.shard_step(&mut schedule, pkg, si, false, &mut exhausted) {
                 Some(desc) => {
-                    report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+                    report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
                     trace.push(MatchStep {
                         description: desc,
                         pipe: report.pipe,
@@ -257,7 +264,7 @@ impl<'m> ThroughputMatcher<'m> {
                 else {
                     break;
                 };
-                report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+                report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
                 trace.push(MatchStep {
                     description: format!("surplus: {desc}"),
                     pipe: report.pipe,
@@ -266,7 +273,7 @@ impl<'m> ThroughputMatcher<'m> {
             }
         }
 
-        report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+        report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
         MatchOutcome {
             schedule,
             report,
@@ -304,7 +311,7 @@ impl<'m> ThroughputMatcher<'m> {
                     if self.cfg.allow_fe_split {
                         let backup = schedule.clone();
                         if self.split_fe(&mut schedule, pkg) {
-                            let new_report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+                            let new_report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
                             if new_report.pipe.as_secs() < old_pipe.as_secs() * 0.999 {
                                 report = new_report;
                                 trace.push(MatchStep {
@@ -330,7 +337,7 @@ impl<'m> ThroughputMatcher<'m> {
                     else {
                         break;
                     };
-                    let new_report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+                    let new_report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
                     if new_report.pipe.as_secs() < old_pipe.as_secs() * 0.999 {
                         report = new_report;
                         trace.push(MatchStep {
@@ -356,7 +363,7 @@ impl<'m> ThroughputMatcher<'m> {
             }
         }
 
-        report = evaluate(&schedule, pkg, self.model, self.cfg.dtype);
+        report = evaluate(&schedule, pkg, &self.model, self.cfg.dtype);
         MatchOutcome {
             schedule,
             report,
@@ -414,47 +421,71 @@ impl<'m> ThroughputMatcher<'m> {
     ) -> Option<String> {
         let kind = schedule.stages[si].kind;
 
-        // Pick (model, layer) with the largest per-shard time that can
-        // still be sharded.
+        // Candidate (model, layer) pairs that can still be sharded: the
+        // filters are cheap and stay serial.
+        let tried: &BTreeSet<(usize, usize, LayerId)> = exhausted;
+        let candidates: Vec<(usize, LayerId, u64)> = schedule.stages[si]
+            .models
+            .iter()
+            .enumerate()
+            .flat_map(|(mi, mp)| {
+                mp.graph.iter().filter_map(move |(id, _)| {
+                    if tried.contains(&(si, mi, id)) {
+                        return None;
+                    }
+                    let lp = mp.layer_plan(id);
+                    if lp.source.class() == OpClass::Memory {
+                        return None;
+                    }
+                    if only_sharded && lp.parts() == 1 {
+                        return None;
+                    }
+                    let cap = self.cap_for(kind, &lp.source);
+                    if lp.parts() >= cap {
+                        return None;
+                    }
+                    Some((mi, id, lp.parts() + 1))
+                })
+            })
+            .collect();
+
+        // Score candidates by their current worst per-shard time. Scoring
+        // is pure and per-candidate independent, so very large stages fan
+        // out on the worker pool. The threshold is deliberately high:
+        // per-candidate work is microseconds (mostly memo-cache hits),
+        // shard_step runs once per match step — often nested inside a
+        // sweep-level par_map — and spawning scoped threads that often
+        // would cost more than it saves and oversubscribe the host. All
+        // paper-scale stages (< 100 candidate layers) stay serial. The
+        // fold below walks input order with a strict `>`, so the chosen
+        // target is identical to the serial loop's at any jobs count.
+        let stage = &schedule.stages[si];
+        let times: Vec<Seconds> = npu_par::par_map_threshold(&candidates, 256, |&(mi, id, _)| {
+            stage.models[mi]
+                .layer_plan(id)
+                .shards
+                .iter()
+                .map(|s| {
+                    self.model
+                        .layer_cost(&s.layer, pkg.chiplet(s.chiplet).accelerator())
+                        .latency
+                })
+                .fold(Seconds::ZERO, Seconds::max)
+        });
         let mut best: Option<(usize, LayerId, Seconds, u64)> = None;
-        for (mi, mp) in schedule.stages[si].models.iter().enumerate() {
-            for (id, _) in mp.graph.iter() {
-                if exhausted.contains(&(si, mi, id)) {
-                    continue;
-                }
-                let lp = mp.layer_plan(id);
-                if lp.source.class() == OpClass::Memory {
-                    continue;
-                }
-                if only_sharded && lp.parts() == 1 {
-                    continue;
-                }
-                let cap = self.cap_for(kind, &lp.source);
-                if lp.parts() >= cap {
-                    continue;
-                }
-                let shard_time = lp
-                    .shards
-                    .iter()
-                    .map(|s| {
-                        self.model
-                            .layer_cost(&s.layer, pkg.chiplet(s.chiplet).accelerator())
-                            .latency
-                    })
-                    .fold(Seconds::ZERO, Seconds::max);
-                if best
-                    .as_ref()
-                    .map(|&(_, _, t, _)| shard_time > t)
-                    .unwrap_or(true)
-                {
-                    best = Some((mi, id, shard_time, lp.parts() + 1));
-                }
+        for (&(mi, id, parts), &shard_time) in candidates.iter().zip(&times) {
+            if best
+                .as_ref()
+                .map(|&(_, _, t, _)| shard_time > t)
+                .unwrap_or(true)
+            {
+                best = Some((mi, id, shard_time, parts));
             }
         }
         let (mi, id, _, parts) = best?;
 
         // Busy map excluding the target layer's current shards.
-        let report = evaluate(schedule, pkg, self.model, self.cfg.dtype);
+        let report = evaluate(schedule, pkg, &self.model, self.cfg.dtype);
         let mut busy: std::collections::BTreeMap<ChipletId, Seconds> =
             report.busy.iter().copied().collect();
         {

@@ -1,0 +1,61 @@
+//! Parallel-vs-serial determinism: the executor contract, end to end.
+//!
+//! `npu_par::par_map` returns input-ordered results and every consumer
+//! folds them exactly as the old serial loops did, so a sweep or DSE run
+//! must be **bit-identical** at any worker count. These tests pin that
+//! guarantee on the real artifacts: the Table I trunk DSE and the
+//! extension sweeps.
+
+use npu_dnn::PerceptionConfig;
+use npu_maestro::FittedMaestro;
+use npu_mcm::McmPackage;
+use npu_sched::dse::{explore_trunks, DseConfig, TrunkVariant};
+use npu_sched::sweep::{chiplet_count_sweep, failure_sweep, nop_bandwidth_sweep};
+
+#[test]
+fn explore_trunks_is_identical_serial_and_parallel() {
+    let pipeline = PerceptionConfig::default().build();
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    for variant in [TrunkVariant::OsOnly, TrunkVariant::Het(2)] {
+        let serial = npu_par::with_jobs(1, || {
+            explore_trunks(&pipeline, &pkg, variant, &model, DseConfig::default())
+        });
+        let parallel = npu_par::with_jobs(8, || {
+            explore_trunks(&pipeline, &pkg, variant, &model, DseConfig::default())
+        });
+        // DseResult derives PartialEq over the full schedule + report:
+        // every latency/energy float must match to the bit.
+        assert_eq!(serial, parallel, "{variant:?} diverged across jobs");
+    }
+}
+
+#[test]
+fn chiplet_count_sweep_is_identical_serial_and_parallel() {
+    let pipeline = PerceptionConfig::default().build();
+    let model = FittedMaestro::new();
+    let meshes = [(3, 3), (4, 4), (6, 6)];
+    let serial = npu_par::with_jobs(1, || chiplet_count_sweep(&pipeline, &meshes, &model));
+    let parallel = npu_par::with_jobs(8, || chiplet_count_sweep(&pipeline, &meshes, &model));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn failure_sweep_is_identical_serial_and_parallel() {
+    let pipeline = PerceptionConfig::default().build();
+    let model = FittedMaestro::new();
+    let failed = [0, 6, 12];
+    let serial = npu_par::with_jobs(1, || failure_sweep(&pipeline, &failed, &model));
+    let parallel = npu_par::with_jobs(8, || failure_sweep(&pipeline, &failed, &model));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn nop_bandwidth_sweep_is_identical_serial_and_parallel() {
+    let pipeline = PerceptionConfig::default().build();
+    let model = FittedMaestro::new();
+    let bandwidths = [100.0, 1.0];
+    let serial = npu_par::with_jobs(1, || nop_bandwidth_sweep(&pipeline, &bandwidths, &model));
+    let parallel = npu_par::with_jobs(8, || nop_bandwidth_sweep(&pipeline, &bandwidths, &model));
+    assert_eq!(serial, parallel);
+}
