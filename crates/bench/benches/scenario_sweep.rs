@@ -1,0 +1,44 @@
+//! Benchmarks the scenario workbench: one full grid point (schedule +
+//! analytic evaluation + DES run) and the built-in grid at serial vs
+//! all-cores worker counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_maestro::FittedMaestro;
+use npu_mcm::McmPackage;
+use npu_scenario::{evaluate_point, scenario_sweep, Scenario, SWEEP_FRAMES};
+
+fn bench(c: &mut Criterion) {
+    let model = FittedMaestro::new();
+    let scenarios = Scenario::builtin();
+    let packages = [McmPackage::simba_6x6()];
+
+    // One point end to end: the unit of work the sweep fans out.
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("one_point_highway_6x6", |b| {
+        b.iter(|| evaluate_point(&scenarios[0], &packages[0], &model, SWEEP_FRAMES))
+    });
+
+    // The whole built-in grid, serial vs parallel. Results are
+    // bit-identical either way (tests/par_determinism.rs); the tracked
+    // gap is the win of fanning scenario grids out on the worker pool.
+    g.bench_function("sweep_serial_jobs1", |b| {
+        b.iter(|| {
+            npu_par::with_jobs(1, || {
+                scenario_sweep(&scenarios, &packages, &model, SWEEP_FRAMES)
+            })
+        })
+    });
+    g.bench_function("sweep_parallel_all_cores", |b| {
+        b.iter(|| {
+            npu_par::with_jobs(npu_par::available_jobs(), || {
+                scenario_sweep(&scenarios, &packages, &model, SWEEP_FRAMES)
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

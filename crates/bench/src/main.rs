@@ -4,7 +4,8 @@
 //! ```text
 //! repro             # everything
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
-//!                   # fig9, fig10, fig11, table1, table2, table3)
+//!                   # fig9, fig10, fig11, table1, table2, table3,
+//!                   # ablations, sweeps, scenarios)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
 //!                   # cores; results are identical at any N)
@@ -41,7 +42,7 @@ macro_rules! artifact {
 
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases) and the error-message listing.
-const ARTIFACTS: [Artifact; 11] = [
+const ARTIFACTS: [Artifact; 12] = [
     artifact!("fig3", fig3),
     artifact!("fig4", fig4),
     artifact!("fig5to8", fig5to8, ["fig5", "fig6", "fig7", "fig8"]),
@@ -53,6 +54,7 @@ const ARTIFACTS: [Artifact; 11] = [
     artifact!("table3", table3),
     artifact!("ablations", ablations),
     artifact!("sweeps", ext_sweeps),
+    artifact!("scenarios", scenarios),
 ];
 
 fn find(name: &str) -> Option<&'static Artifact> {

@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 11, "expected 11 JSON documents:\n{stdout}");
+    assert_eq!(docs, 12, "expected 12 JSON documents:\n{stdout}");
 }
 
 #[test]

@@ -1,0 +1,84 @@
+//! Golden-file regression tests for the `repro --json` output.
+//!
+//! Every artifact in the stack is deterministic (analytic evaluation,
+//! seeded DES runs, input-ordered parallel sweeps), so the serialized
+//! JSON is byte-stable. Pinning it catches both schema drift (renamed
+//! or dropped fields breaking downstream consumers) and silent result
+//! drift (a cost-model change moving numbers nobody meant to move).
+//!
+//! On an intentional change, regenerate with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p repro --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Runs `repro --json <name>` (with a pinned worker count, which must
+/// not matter) and compares the output byte-for-byte with the golden
+/// file. `BLESS=1` rewrites the golden instead.
+fn check_golden(name: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--jobs", "2", "--json", name])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success(), "repro --json {name} failed");
+    let actual = String::from_utf8(out.stdout).expect("utf-8 output");
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\n\
+             generate it with: BLESS=1 cargo test -p repro --test golden",
+            path.display()
+        )
+    });
+    assert!(
+        actual == expected,
+        "`repro --json {name}` drifted from {}.\n\
+         If the change is intentional, regenerate with:\n\
+         BLESS=1 cargo test -p repro --test golden\n\
+         --- first diverging line ---\n{}",
+        path.display(),
+        first_diff(&expected, &actual)
+    );
+}
+
+/// The first line where the two documents diverge, for a readable
+/// failure message (full documents are thousands of lines).
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}:\n  golden: {e}\n  actual: {a}", i + 1);
+        }
+    }
+    format!(
+        "documents differ in length: golden {} lines, actual {} lines",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+/// The scenario workbench grid: the new artifact of ISSUE 3.
+#[test]
+fn scenarios_json_matches_golden() {
+    check_golden("scenarios");
+}
+
+/// One pre-existing artifact, pinned so the whole `--json` surface —
+/// not just the new code — is covered against schema drift.
+#[test]
+fn fig3_json_matches_golden() {
+    check_golden("fig3");
+}

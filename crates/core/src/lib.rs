@@ -30,6 +30,7 @@
 //! | [`mcm`] | chiplet package presets & heterogeneity |
 //! | [`sched`] | sharding, Algorithm 1, baselines, trunk DSE |
 //! | [`pipesim`] | discrete-event validation simulator |
+//! | [`scenario`] | driving scenarios: rigs, modes, arrival processes |
 //! | [`experiments`] | every paper table & figure, regenerated |
 //! | [`par`] | scoped-thread parallel sweep executor (`par_map`) |
 
@@ -40,6 +41,7 @@ pub use npu_mcm as mcm;
 pub use npu_noc as noc;
 pub use npu_par as par;
 pub use npu_pipesim as pipesim;
+pub use npu_scenario as scenario;
 pub use npu_sched as sched;
 pub use npu_tensor as tensor;
 
@@ -48,7 +50,8 @@ pub mod prelude {
     pub use npu_dnn::{Graph, Layer, OpKind, PerceptionConfig, PerceptionPipeline, StageKind};
     pub use npu_maestro::{Accelerator, CostModel, Dataflow, FittedMaestro};
     pub use npu_mcm::{ChipletId, McmPackage};
-    pub use npu_pipesim::{simulate, SimConfig, SimReport};
+    pub use npu_pipesim::{simulate, Arrivals, SimConfig, SimReport};
+    pub use npu_scenario::{scenario_sweep, CameraRig, OperatingMode, Scenario, ScenarioPoint};
     pub use npu_sched::{
         baseline_schedule, evaluate, EvalReport, MatchOutcome, MatcherConfig, Pipelining, Schedule,
         ThroughputMatcher,

@@ -18,6 +18,7 @@
 //! | Table III — occupancy upsampling ablation | [`table3`] |
 //! | Ablations (scheduler / dataflow / cost model) | [`ablations`] |
 //! | Extension sweeps (scaling, failure injection) | [`ext_sweeps`] |
+//! | Scenario workbench (driving workload envelope) | [`scenarios`] |
 //!
 //! # Examples
 //!
@@ -35,6 +36,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5to8;
 pub mod fig9;
+pub mod scenarios;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -49,7 +51,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 11] = [
+    let sections: [fn() -> String; 12] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -61,6 +63,7 @@ pub fn run_all() -> String {
         || fig11::run().to_string(),
         || ablations::run().to_string(),
         || ext_sweeps::run().to_string(),
+        || scenarios::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()
 }

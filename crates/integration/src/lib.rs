@@ -7,12 +7,13 @@
 //!
 //! - `tests/end_to_end.rs` — full schedule/evaluate/serialize round trips;
 //! - `tests/paper_claims.rs` — the paper's headline numbers, pinned;
-//! - `tests/des_vs_analytic.rs` — discrete-event vs analytical drift;
+//! - `tests/des_vs_analytic.rs` — discrete-event vs analytical drift,
+//!   including every built-in scenario family of `npu-scenario`;
 //! - `tests/cross_crate_properties.rs` — property-based invariants
 //!   spanning the component crates;
-//! - `tests/par_determinism.rs` — DSE and sweeps bit-identical at any
-//!   `npu-par` worker count;
-//! - `examples/*.rs` — the five runnable walkthroughs listed in the
+//! - `tests/par_determinism.rs` — DSE, sweeps and the scenario grid
+//!   bit-identical at any `npu-par` worker count;
+//! - `examples/*.rs` — the six runnable walkthroughs listed in the
 //!   top-level README (`cargo run --release --example quickstart`, ...).
 //!
 //! The crate body is intentionally empty: everything interesting lives

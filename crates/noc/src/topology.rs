@@ -178,7 +178,9 @@ mod tests {
     }
 
     proptest! {
-        /// The XY route length always equals the Manhattan distance.
+        /// The XY route length always equals the Manhattan distance,
+        /// the route starts at `a`, ends at `b`, and every consecutive
+        /// pair of route nodes is exactly one mesh hop apart.
         #[test]
         fn route_length_is_manhattan(
             ax in 0u32..6, ay in 0u32..6, bx in 0u32..6, by in 0u32..6
@@ -189,6 +191,9 @@ mod tests {
             prop_assert_eq!(route.len() as u64, m.manhattan(a, b) + 1);
             prop_assert_eq!(route[0], a);
             prop_assert_eq!(*route.last().unwrap(), b);
+            for pair in route.windows(2) {
+                prop_assert_eq!(m.manhattan(pair[0], pair[1]), 1);
+            }
         }
 
         /// Manhattan distance is symmetric and satisfies the triangle

@@ -87,6 +87,34 @@ impl TrafficMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `total_routed` is exactly the sum of the bytes of every added
+        /// route whose endpoints differ (self-routes cross no link), and
+        /// no single link carries more than that total.
+        #[test]
+        fn total_routed_is_the_sum_of_cross_routes(
+            srcs in prop::collection::vec(0usize..36, 0..12),
+            dsts in prop::collection::vec(0usize..36, 0..12),
+            sizes in prop::collection::vec(1u64..1_000_000, 0..12)
+        ) {
+            let mesh = Mesh2d::new(6, 6);
+            let nodes: Vec<NodeId> = mesh.nodes().collect();
+            let mut t = TrafficMatrix::new(mesh);
+            let mut expected = Bytes::ZERO;
+            for ((&s, &d), &b) in srcs.iter().zip(&dsts).zip(&sizes) {
+                t.add_route(nodes[s], nodes[d], Bytes::new(b));
+                if s != d {
+                    expected += Bytes::new(b);
+                }
+            }
+            prop_assert_eq!(t.total_routed(), expected);
+            prop_assert!(t.max_link_load() <= t.total_routed());
+            // Links only exist when something was routed.
+            prop_assert_eq!(t.active_links() == 0, expected == Bytes::ZERO);
+        }
+    }
 
     #[test]
     fn overlapping_routes_accumulate() {

@@ -3,30 +3,24 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use npu_maestro::CostModel;
 use npu_mcm::{ChipletId, McmPackage};
 use npu_sched::{flatten_items, Schedule, SimItem};
-use npu_tensor::{Dtype, Seconds};
+use npu_tensor::Dtype;
 
+use crate::arrivals::Arrivals;
 use crate::report::SimReport;
 
 /// Simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of frames to push through the pipeline.
     pub frames: usize,
-    /// Frame arrival interval; `None` = all frames available at t = 0
-    /// (saturation mode, used to measure the sustainable rate).
-    pub arrival_interval: Option<Seconds>,
-    /// Uniform arrival jitter as a fraction of the interval (camera
-    /// trigger/exposure skew); 0 = periodic.
-    pub arrival_jitter: f64,
-    /// Seed for the jitter stream (deterministic simulations).
-    pub seed: u64,
+    /// The frame arrival process (saturation, periodic, jittered, bursty
+    /// or trace replay — see [`Arrivals`]).
+    pub arrivals: Arrivals,
     /// Frames discarded from the steady-state statistics at **each end**
     /// of the run: the first `warmup` frames (pipeline fill) and the last
     /// `warmup` frames (pipeline drain). The report clamps the trim so
@@ -47,37 +41,43 @@ impl SimConfig {
 
     /// Saturation mode: measure the sustainable frame rate.
     pub fn saturated(frames: usize) -> Self {
-        SimConfig {
-            frames,
-            arrival_interval: None,
-            arrival_jitter: 0.0,
-            seed: 0,
-            warmup: SimConfig::default_warmup(frames),
-            dtype: Dtype::Fp16,
-        }
+        SimConfig::with_arrivals(frames, Arrivals::Saturated)
     }
 
     /// Camera mode: frames arrive at the given rate (e.g. 30 FPS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not finite and positive (a zero or NaN rate
+    /// would silently produce non-finite event times).
     pub fn camera(frames: usize, fps: f64) -> Self {
+        SimConfig::with_arrivals(frames, Arrivals::periodic_fps(fps))
+    }
+
+    /// Any arrival process with the default warmup trim and datatype.
+    pub fn with_arrivals(frames: usize, arrivals: Arrivals) -> Self {
         SimConfig {
             frames,
-            arrival_interval: Some(Seconds::new(1.0 / fps)),
-            arrival_jitter: 0.0,
-            seed: 0,
+            arrivals,
             warmup: SimConfig::default_warmup(frames),
             dtype: Dtype::Fp16,
         }
     }
 
-    /// Adds uniform arrival jitter (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frac` is not within `[0, 1)`.
+    /// Adds uniform arrival jitter (builder style). `frac` is clamped
+    /// into `[0, 1)` (NaN clamps to 0) instead of poisoning event times.
+    /// Saturated, bursty and trace arrivals have no per-frame interval to
+    /// jitter and pass through unchanged.
     pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction in [0, 1)");
-        self.arrival_jitter = frac;
-        self.seed = seed;
+        let frac = Arrivals::clamp_jitter(frac);
+        if let Arrivals::Periodic { interval } | Arrivals::Jittered { interval, .. } = self.arrivals
+        {
+            self.arrivals = Arrivals::Jittered {
+                interval,
+                frac,
+                seed,
+            };
+        }
         self
     }
 }
@@ -185,19 +185,7 @@ pub fn simulate(
         });
     };
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for f in 0..cfg.frames {
-        let t = cfg
-            .arrival_interval
-            .map(|iv| {
-                let jitter = if cfg.arrival_jitter > 0.0 {
-                    iv.as_secs() * cfg.arrival_jitter * rng.gen_range(0.0..1.0)
-                } else {
-                    0.0
-                };
-                iv.as_secs() * f as f64 + jitter
-            })
-            .unwrap_or(0.0);
+    for (f, t) in cfg.arrivals.times(cfg.frames).into_iter().enumerate() {
         push(&mut heap, t, Event::FrameArrival(f));
     }
 
@@ -297,6 +285,7 @@ mod tests {
     use npu_dnn::StageKind;
     use npu_maestro::FittedMaestro;
     use npu_sched::{LayerPlan, ModelPlan, StagePlan};
+    use npu_tensor::Seconds;
 
     /// Small-run warmup clamping: a quarter of the run per end, capped
     /// at 4, so `frames ≤ 4` never trims the window away.
@@ -435,6 +424,102 @@ mod tests {
         assert_ne!(a.steady_interval, other.steady_interval, "seed matters");
         // Jitter shifts arrivals by < one interval: latency stays sane.
         assert!(a.max_latency.as_secs() < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn camera_rejects_zero_fps() {
+        let _ = SimConfig::camera(8, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn camera_rejects_non_finite_fps() {
+        let _ = SimConfig::camera(8, f64::INFINITY);
+    }
+
+    /// Out-of-range jitter fractions clamp into `[0, 1)` instead of
+    /// poisoning arrival times (NaN clamps to zero).
+    #[test]
+    fn jitter_fraction_is_clamped() {
+        let frac = |cfg: &SimConfig| match cfg.arrivals {
+            Arrivals::Jittered { frac, .. } => frac,
+            ref a => panic!("expected jittered arrivals, got {a:?}"),
+        };
+        let base = || SimConfig::camera(8, 30.0);
+        assert_eq!(frac(&base().with_jitter(1.5, 0)), Arrivals::MAX_JITTER);
+        assert_eq!(frac(&base().with_jitter(-0.3, 0)), 0.0);
+        assert_eq!(frac(&base().with_jitter(f64::NAN, 0)), 0.0);
+        assert_eq!(frac(&base().with_jitter(0.25, 0)), 0.25);
+        // Every clamped config expands to finite arrival times.
+        for cfg in [base().with_jitter(1.5, 1), base().with_jitter(f64::NAN, 1)] {
+            assert!(cfg.arrivals.times(cfg.frames).iter().all(|t| t.is_finite()));
+        }
+        // Saturation has no interval to jitter: unchanged.
+        let sat = SimConfig::saturated(8).with_jitter(0.5, 1);
+        assert_eq!(sat.arrivals, Arrivals::Saturated);
+    }
+
+    /// Bursty arrivals: the steady interval settles at the mean burst
+    /// rate when the pipeline keeps up.
+    #[test]
+    fn bursty_arrivals_settle_at_mean_rate() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![ModelPlan::on_single_chiplet("s", g, ChipletId(0))],
+                region: vec![ChipletId(0)],
+            }],
+        };
+        // Bursts of 4 frames every 4 s: mean interval 1 s, and both the
+        // 0.4 s intra-burst spacing and the inter-burst gap exceed the
+        // ~366 ms service time, so every frame is arrival-limited. 17
+        // frames with the default warmup of 4 puts the measured window at
+        // frames 4..=12 — exactly two whole bursts, so the windowed
+        // interval estimator sees the mean rate with no phase bias.
+        let arrivals = Arrivals::Bursty {
+            period: Seconds::new(4.0),
+            burst: 4,
+            intra: Seconds::new(0.4),
+        };
+        let rep = simulate(
+            &schedule,
+            &pkg,
+            &model,
+            &SimConfig::with_arrivals(17, arrivals.clone()),
+        );
+        let mean = arrivals.mean_interval().unwrap().as_secs();
+        let rel = (rep.steady_interval.as_secs() / mean - 1.0).abs();
+        assert!(rel < 1e-9, "DES {} vs mean {}", rep.steady_interval, mean);
+    }
+
+    /// Trace replay reproduces recorded arrival times exactly.
+    #[test]
+    fn trace_replay_is_exact_and_deterministic() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![ModelPlan::on_single_chiplet("s", g, ChipletId(0))],
+                region: vec![ChipletId(0)],
+            }],
+        };
+        let trace = Arrivals::trace(vec![
+            Seconds::new(0.0),
+            Seconds::new(0.5),
+            Seconds::new(1.2),
+            Seconds::new(2.0),
+        ]);
+        let cfg = SimConfig::with_arrivals(8, trace);
+        let a = simulate(&schedule, &pkg, &model, &cfg);
+        let b = simulate(&schedule, &pkg, &model, &cfg);
+        assert_eq!(a, b, "trace replay is deterministic");
+        assert!(a.measured_frames > 0);
     }
 
     /// With slow arrivals the pipeline is arrival-limited.

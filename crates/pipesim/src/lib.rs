@@ -2,11 +2,14 @@
 //!
 //! The paper (and `npu-sched`) computes pipelining latency *analytically*
 //! as the maximum per-chiplet busy time. This crate executes a schedule as
-//! a discrete-event simulation — frames arrive from an 8-camera source,
-//! every layer shard is a job on its chiplet's FIFO queue, dependencies
-//! gate job starts — and measures the steady-state frame interval and
-//! latency *empirically*. Agreement between the two is a strong internal
-//! consistency check (see `validate`).
+//! a discrete-event simulation — frames enter under a configurable
+//! [`Arrivals`] process (saturation, periodic camera, jittered, bursty,
+//! or trace replay), every layer shard is a job on its chiplet's FIFO
+//! queue, dependencies gate job starts — and measures the steady-state
+//! frame interval and latency *empirically*. Agreement between the two is
+//! a strong internal consistency check (see `validate`), and
+//! `npu-scenario` compiles whole driving scenarios down to these arrival
+//! processes.
 //!
 //! # Examples
 //!
@@ -29,8 +32,10 @@
 //! assert!(rel < 0.1, "DES {} vs analytic {}", report.steady_interval, outcome.report.pipe);
 //! ```
 
+pub mod arrivals;
 pub mod engine;
 pub mod report;
 
+pub use arrivals::Arrivals;
 pub use engine::{simulate, SimConfig};
 pub use report::SimReport;

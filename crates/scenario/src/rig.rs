@@ -1,0 +1,112 @@
+//! Camera rig descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A vehicle's camera rig: how many cameras, at what resolution, firing
+/// at what rate. The paper's evaluation fixes one rig (8 × 360×640 @ 30
+/// FPS); real fleets ship several (see "Hardware Accelerators in
+/// Autonomous Driving" on heterogeneous sensor configurations).
+///
+/// # Examples
+///
+/// ```
+/// use npu_scenario::CameraRig;
+///
+/// let rig = CameraRig::octa_ring();
+/// assert_eq!(rig.cameras, 8);
+/// assert_eq!(rig.input_hw, (360, 640));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraRig {
+    /// Installed cameras.
+    pub cameras: u64,
+    /// Per-camera input height/width after ISP pre-scaling.
+    pub input_hw: (u64, u64),
+    /// Nominal per-camera frame rate.
+    pub fps: f64,
+}
+
+impl CameraRig {
+    /// Creates a validated rig.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras` is zero, either image extent is zero, or
+    /// `fps` is not finite and positive.
+    pub fn new(cameras: u64, input_hw: (u64, u64), fps: f64) -> Self {
+        assert!(cameras >= 1, "a rig needs at least one camera");
+        assert!(
+            input_hw.0 >= 1 && input_hw.1 >= 1,
+            "camera resolution must be non-zero, got {input_hw:?}"
+        );
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "camera frame rate must be finite and positive, got {fps}"
+        );
+        CameraRig {
+            cameras,
+            input_hw,
+            fps,
+        }
+    }
+
+    /// The paper's rig: 8 surround cameras, 360×640 inputs, 30 FPS.
+    pub fn octa_ring() -> Self {
+        CameraRig::new(8, (360, 640), 30.0)
+    }
+
+    /// A 6-camera highway rig trading side coverage for a faster frame
+    /// rate (36 FPS).
+    pub fn hexa_highway() -> Self {
+        CameraRig::new(6, (360, 640), 36.0)
+    }
+
+    /// A reduced 4-camera rig at lower resolution and rate — the economy
+    /// configuration of a robo-shuttle operating on fixed routes.
+    pub fn quad_economy() -> Self {
+        CameraRig::new(4, (288, 512), 20.0)
+    }
+
+    /// Nominal inter-frame interval in seconds.
+    pub fn frame_interval_secs(&self) -> f64 {
+        1.0 / self.fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        let rigs = [
+            CameraRig::octa_ring(),
+            CameraRig::hexa_highway(),
+            CameraRig::quad_economy(),
+        ];
+        for r in &rigs {
+            assert!(r.cameras >= 1);
+            assert!(r.frame_interval_secs() > 0.0);
+        }
+        assert_ne!(rigs[0], rigs[1]);
+        assert_ne!(rigs[1], rigs[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one camera")]
+    fn zero_cameras_rejected() {
+        let _ = CameraRig::new(0, (360, 640), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_fps_rejected() {
+        let _ = CameraRig::new(8, (360, 640), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_resolution_rejected() {
+        let _ = CameraRig::new(8, (0, 640), 30.0);
+    }
+}

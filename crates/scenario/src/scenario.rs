@@ -1,0 +1,335 @@
+//! Driving scenarios: rig + operating mode → workload + arrival process.
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::{PerceptionConfig, PerceptionPipeline};
+use npu_pipesim::{Arrivals, SimConfig};
+use npu_tensor::Seconds;
+
+use crate::rig::CameraRig;
+
+/// The operating mode the vehicle is in. Modes shape both the workload
+/// (active cameras, detector heads) and the frame arrival process the
+/// DES sees ("Chiplets on Wheels" sizes chiplet platforms against such
+/// scenario mixes, not a single steady-state trace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// Steady cruise: strictly periodic arrivals at the rig rate, the
+    /// default workload.
+    HighwayCruise,
+    /// Dense urban traffic: camera trigger skew jitters arrivals, and an
+    /// extra detector head runs for the pedestrian-heavy scene.
+    UrbanDense {
+        /// Uniform arrival jitter as a fraction of the interval.
+        jitter_frac: f64,
+        /// Jitter stream seed.
+        seed: u64,
+    },
+    /// Degraded operation after camera dropout: the pipeline runs on the
+    /// surviving cameras at the nominal rate.
+    DegradedDropout {
+        /// Cameras lost (clamped so at least one survives).
+        lost_cameras: u64,
+    },
+    /// Burst re-localization: a backlog of keyframes is replayed in
+    /// bursts (e.g. after GPS loss), at the rig's mean rate.
+    BurstRelocalization {
+        /// Frames per burst.
+        burst: usize,
+    },
+    /// Replay of recorded frame timestamps from a drive log.
+    TraceReplay {
+        /// Recorded arrival times (finite, non-decreasing).
+        trace: Vec<Seconds>,
+    },
+}
+
+/// A named driving scenario: a camera rig operated in a mode. Compiles
+/// into a [`PerceptionConfig`] for the analytic scheduler and a
+/// [`SimConfig`] for the discrete-event simulator, so both sides of the
+/// cross-validation stack evaluate exactly the same workload.
+///
+/// # Examples
+///
+/// ```
+/// use npu_scenario::{CameraRig, OperatingMode, Scenario};
+///
+/// let s = Scenario::new(
+///     "degraded",
+///     CameraRig::octa_ring(),
+///     OperatingMode::DegradedDropout { lost_cameras: 3 },
+/// );
+/// assert_eq!(s.active_cameras(), 5);
+/// let pipeline = s.workload();
+/// assert_eq!(pipeline.config().cameras, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario family name (unique within a sweep).
+    pub name: String,
+    /// The camera rig.
+    pub rig: CameraRig,
+    /// The operating mode.
+    pub mode: OperatingMode,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, rig: CameraRig, mode: OperatingMode) -> Self {
+        Scenario {
+            name: name.into(),
+            rig,
+            mode,
+        }
+    }
+
+    /// Cameras actually feeding the pipeline (rig minus dropout, at
+    /// least one).
+    pub fn active_cameras(&self) -> u64 {
+        match &self.mode {
+            OperatingMode::DegradedDropout { lost_cameras } => {
+                self.rig.cameras.saturating_sub(*lost_cameras).max(1)
+            }
+            _ => self.rig.cameras,
+        }
+    }
+
+    /// Compiles the scenario into a perception-pipeline configuration:
+    /// the camera count drives both the FE+BFPN instance count and the
+    /// spatial-fusion token load, the rig resolution drives the
+    /// feature-extractor shapes, and urban mode adds a detector head.
+    pub fn perception_config(&self) -> PerceptionConfig {
+        let mut cfg = PerceptionConfig::default();
+        let active = self.active_cameras();
+        cfg.cameras = active;
+        cfg.fe.input_hw = self.rig.input_hw;
+        // S_FUSE projects one token grid per active camera; the grid
+        // itself is the BiFPN output and thus resolution-independent.
+        let tokens_per_camera = cfg.bifpn.out_grid.0 * cfg.bifpn.out_grid.1;
+        cfg.s_fuse.proj_tokens = active * tokens_per_camera;
+        if let OperatingMode::UrbanDense { .. } = self.mode {
+            // Traffic/vehicle/pedestrian plus a cyclist head.
+            cfg.detectors = 4;
+        }
+        cfg
+    }
+
+    /// Builds the scenario's perception pipeline.
+    pub fn workload(&self) -> PerceptionPipeline {
+        self.perception_config().build()
+    }
+
+    /// The frame arrival process the mode produces.
+    pub fn arrivals(&self) -> Arrivals {
+        let interval = Seconds::new(self.rig.frame_interval_secs());
+        match &self.mode {
+            OperatingMode::HighwayCruise | OperatingMode::DegradedDropout { .. } => {
+                Arrivals::Periodic { interval }
+            }
+            OperatingMode::UrbanDense { jitter_frac, seed } => Arrivals::Jittered {
+                interval,
+                frac: Arrivals::clamp_jitter(*jitter_frac),
+                seed: *seed,
+            },
+            OperatingMode::BurstRelocalization { burst } => {
+                let burst = (*burst).max(1);
+                Arrivals::Bursty {
+                    // Bursts carry `burst` frames at the rig's mean rate;
+                    // within a burst the backlog drains 8x faster.
+                    period: Seconds::new(interval.as_secs() * burst as f64),
+                    burst,
+                    intra: Seconds::new(interval.as_secs() / 8.0),
+                }
+            }
+            OperatingMode::TraceReplay { trace } => Arrivals::trace(trace.clone()),
+        }
+    }
+
+    /// DES configuration driving `frames` frames through this scenario's
+    /// arrival process.
+    pub fn sim_config(&self, frames: usize) -> SimConfig {
+        SimConfig::with_arrivals(frames, self.arrivals())
+    }
+
+    /// The analytically predicted steady-state frame interval: the
+    /// pipeline's matched pipelining latency when arrivals outpace it
+    /// (compute-bound), the mean arrival interval otherwise
+    /// (arrival-bound). Saturation is always compute-bound.
+    pub fn predicted_interval(&self, pipe: Seconds) -> Seconds {
+        match self.arrivals().mean_interval() {
+            Some(mean) if mean.as_secs() > pipe.as_secs() => mean,
+            _ => pipe,
+        }
+    }
+
+    /// The built-in scenario families the workbench sweeps: the paper's
+    /// steady state plus urban, reduced-rig, degraded, bursty,
+    /// arrival-bound and trace-replay operation.
+    pub fn builtin() -> Vec<Scenario> {
+        vec![
+            Scenario::new(
+                "highway-cruise",
+                CameraRig::octa_ring(),
+                OperatingMode::HighwayCruise,
+            ),
+            Scenario::new(
+                "urban-dense",
+                CameraRig::octa_ring(),
+                OperatingMode::UrbanDense {
+                    jitter_frac: 0.25,
+                    seed: 11,
+                },
+            ),
+            Scenario::new(
+                "hexa-highway",
+                CameraRig::hexa_highway(),
+                OperatingMode::HighwayCruise,
+            ),
+            Scenario::new(
+                "degraded-dropout",
+                CameraRig::octa_ring(),
+                OperatingMode::DegradedDropout { lost_cameras: 3 },
+            ),
+            Scenario::new(
+                "burst-relocalization",
+                CameraRig::octa_ring(),
+                OperatingMode::BurstRelocalization { burst: 4 },
+            ),
+            Scenario::new(
+                "night-low-rate",
+                // Cameras throttle to 8 FPS in low light: the platform
+                // becomes arrival-bound, not compute-bound.
+                CameraRig::new(8, (360, 640), 8.0),
+                OperatingMode::HighwayCruise,
+            ),
+            Scenario::new(
+                "trace-replay",
+                CameraRig::quad_economy(),
+                OperatingMode::TraceReplay {
+                    // A recorded log snippet: nominal 20 FPS with two
+                    // stalls (dropped frames around underpass glare).
+                    trace: [0.0, 0.05, 0.10, 0.22, 0.27, 0.32, 0.47, 0.52]
+                        .iter()
+                        .map(|&t| Seconds::new(t))
+                        .collect(),
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_families_are_diverse() {
+        let scenarios = Scenario::builtin();
+        assert!(scenarios.len() >= 6, "need at least six families");
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "names must be unique");
+        // At least one degraded and one bursty mode (ISSUE 3 acceptance).
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.mode, OperatingMode::DegradedDropout { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.mode, OperatingMode::BurstRelocalization { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.mode, OperatingMode::TraceReplay { .. })));
+    }
+
+    #[test]
+    fn dropout_shrinks_the_workload() {
+        let full = Scenario::new("full", CameraRig::octa_ring(), OperatingMode::HighwayCruise);
+        let degraded = Scenario::new(
+            "deg",
+            CameraRig::octa_ring(),
+            OperatingMode::DegradedDropout { lost_cameras: 3 },
+        );
+        assert_eq!(degraded.active_cameras(), 5);
+        let f = full.workload();
+        let d = degraded.workload();
+        assert!(d.total_macs() < f.total_macs());
+        // S_FUSE token load follows the active cameras.
+        assert_eq!(degraded.perception_config().s_fuse.proj_tokens, 5 * 1600);
+        // Dropout can never kill the last camera.
+        let all_lost = Scenario::new(
+            "dead",
+            CameraRig::octa_ring(),
+            OperatingMode::DegradedDropout { lost_cameras: 99 },
+        );
+        assert_eq!(all_lost.active_cameras(), 1);
+    }
+
+    #[test]
+    fn urban_mode_adds_a_detector() {
+        let urban = Scenario::new(
+            "u",
+            CameraRig::octa_ring(),
+            OperatingMode::UrbanDense {
+                jitter_frac: 0.2,
+                seed: 1,
+            },
+        );
+        assert_eq!(urban.perception_config().detectors, 4);
+        assert!(matches!(urban.arrivals(), Arrivals::Jittered { .. }));
+    }
+
+    #[test]
+    fn resolution_scales_fe_work() {
+        let hi = Scenario::new(
+            "hi",
+            CameraRig::new(4, (360, 640), 20.0),
+            OperatingMode::HighwayCruise,
+        );
+        let lo = Scenario::new(
+            "lo",
+            CameraRig::new(4, (288, 512), 20.0),
+            OperatingMode::HighwayCruise,
+        );
+        assert!(lo.workload().total_macs() < hi.workload().total_macs());
+    }
+
+    #[test]
+    fn predicted_interval_takes_the_binding_constraint() {
+        let fast = Scenario::new(
+            "fast",
+            CameraRig::new(8, (360, 640), 30.0),
+            OperatingMode::HighwayCruise,
+        );
+        let slow = Scenario::new(
+            "slow",
+            CameraRig::new(8, (360, 640), 2.0),
+            OperatingMode::HighwayCruise,
+        );
+        let pipe = Seconds::new(0.085);
+        // 30 FPS arrivals (33 ms) outpace an 85 ms pipe: compute-bound.
+        assert_eq!(fast.predicted_interval(pipe), pipe);
+        // 2 FPS arrivals (500 ms) leave the pipeline idle: arrival-bound.
+        assert_eq!(slow.predicted_interval(pipe), Seconds::new(0.5));
+    }
+
+    #[test]
+    fn scenarios_serialize_round_trip() {
+        for s in Scenario::builtin() {
+            let json = serde_json::to_string(&s).expect("serialize");
+            let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn burst_mode_preserves_the_mean_rate() {
+        let s = Scenario::new(
+            "b",
+            CameraRig::octa_ring(),
+            OperatingMode::BurstRelocalization { burst: 4 },
+        );
+        let mean = s.arrivals().mean_interval().unwrap().as_secs();
+        assert!((mean - 1.0 / 30.0).abs() < 1e-12);
+    }
+}

@@ -63,6 +63,60 @@ fn dual_npu_schedule_agrees() {
     assert!(rel < 0.12, "DES {des} vs analytic {ana}");
 }
 
+/// Every built-in scenario family: the saturated DES steady interval
+/// must reproduce the analytic pipelining latency of that family's
+/// matched schedule within 10% (ISSUE 3 acceptance).
+#[test]
+fn every_scenario_family_agrees_saturated() {
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    for scenario in Scenario::builtin() {
+        let pipeline = scenario.workload();
+        let outcome = ThroughputMatcher::new(&model, MatcherConfig::default())
+            .match_throughput(&pipeline, &pkg);
+        let (rel, des, ana) = agreement(&outcome.schedule, &pkg);
+        assert!(
+            rel < 0.10,
+            "{}: DES {des} vs analytic {ana} ({:+.1}%)",
+            scenario.name,
+            rel * 100.0
+        );
+    }
+}
+
+/// Arrival-aware agreement across the whole scenario × package grid, at
+/// both a serial and a parallel worker count: the DES interval under
+/// each scenario's own arrival process must land within 10% of the
+/// analytic prediction `max(pipe, mean arrival interval)`.
+#[test]
+fn scenario_sweep_agrees_at_any_worker_count() {
+    let scenarios = Scenario::builtin();
+    let packages = [McmPackage::simba_6x6(), McmPackage::dual_npu_12x6()];
+    let model = FittedMaestro::new();
+    for jobs in [1, 8] {
+        let points = npu_par::with_jobs(jobs, || {
+            scenario_sweep(
+                &scenarios,
+                &packages,
+                &model,
+                npu_core::scenario::SWEEP_FRAMES,
+            )
+        });
+        assert_eq!(points.len(), scenarios.len() * packages.len());
+        for p in &points {
+            assert!(
+                p.drift < 0.10,
+                "--jobs {jobs}: {} on {}: DES {} vs predicted {} ({:+.1}%)",
+                p.scenario,
+                p.package,
+                p.des_interval,
+                p.predicted_interval,
+                p.drift * 100.0
+            );
+        }
+    }
+}
+
 #[test]
 fn des_latency_always_at_least_critical_path() {
     let pipeline = PerceptionConfig::default().build();

@@ -9,6 +9,7 @@
 use npu_dnn::PerceptionConfig;
 use npu_maestro::FittedMaestro;
 use npu_mcm::McmPackage;
+use npu_scenario::{scenario_sweep, Scenario, SWEEP_FRAMES};
 use npu_sched::dse::{explore_trunks, DseConfig, TrunkVariant};
 use npu_sched::sweep::{chiplet_count_sweep, failure_sweep, nop_bandwidth_sweep};
 
@@ -47,6 +48,25 @@ fn failure_sweep_is_identical_serial_and_parallel() {
     let failed = [0, 6, 12];
     let serial = npu_par::with_jobs(1, || failure_sweep(&pipeline, &failed, &model));
     let parallel = npu_par::with_jobs(8, || failure_sweep(&pipeline, &failed, &model));
+    assert_eq!(serial, parallel);
+}
+
+/// The scenario workbench grid — schedules, analytic reports AND the
+/// DES runs inside every point — must be bit-identical at `--jobs 1`
+/// and `--jobs 8` (ISSUE 3 acceptance).
+#[test]
+fn scenario_sweep_is_identical_serial_and_parallel() {
+    let scenarios = Scenario::builtin();
+    let packages = [McmPackage::simba_6x6(), McmPackage::dual_npu_12x6()];
+    let model = FittedMaestro::new();
+    let serial = npu_par::with_jobs(1, || {
+        scenario_sweep(&scenarios, &packages, &model, SWEEP_FRAMES)
+    });
+    let parallel = npu_par::with_jobs(8, || {
+        scenario_sweep(&scenarios, &packages, &model, SWEEP_FRAMES)
+    });
+    // ScenarioPoint derives PartialEq over every latency/energy float:
+    // each must match to the bit.
     assert_eq!(serial, parallel);
 }
 
