@@ -5,93 +5,278 @@
 //! repro             # everything
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                   # fig9, fig10, fig11, table1, table2, table3,
-//!                   # ablations, sweeps, scenarios)
+//!                   # ablations, sweeps, scenarios, scenario-dse)
+//! repro --list      # print the artifact registry (names + aliases)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
 //!                   # cores; results are identical at any N)
 //! ```
+//!
+//! Flags are accepted anywhere in argv: `repro fig3 --json` and
+//! `repro --json fig3` are the same invocation.
+//!
+//! Each registry entry is a trait object whose [`Artifact::run`]
+//! computes the experiment **once** and returns a [`Render`] — text and
+//! JSON are two views of the same run, never a recomputation.
 
 use std::env;
 use std::process::ExitCode;
 
-/// One renderable artifact: name, text renderer, JSON renderer.
-struct Artifact {
-    name: &'static str,
+use npu_study::Render;
+
+/// One renderable artifact of the paper reproduction.
+trait Artifact: Sync {
+    /// The canonical artifact name (also the golden-file name).
+    fn name(&self) -> &'static str;
+
     /// Other accepted spellings (`fig5`..`fig8` for the panel).
-    aliases: &'static [&'static str],
-    text: fn() -> String,
-    json: fn() -> String,
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Computes the experiment and returns its renderings.
+    fn run(&self) -> Box<dyn Render>;
 }
 
-macro_rules! artifact {
-    ($name:literal, $module:ident) => {
-        artifact!($name, $module, [])
-    };
-    ($name:literal, $module:ident, $aliases:expr) => {
-        Artifact {
-            name: $name,
-            aliases: &$aliases,
-            text: || npu_experiments::$module::run().to_string(),
-            json: || {
-                serde_json::to_string_pretty(&npu_experiments::$module::run())
-                    .expect("experiment results serialize")
-            },
-        }
-    };
+struct Fig3;
+impl Artifact for Fig3 {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig3::run())
+    }
+}
+
+struct Fig4;
+impl Artifact for Fig4 {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig4::run())
+    }
+}
+
+struct Fig5to8;
+impl Artifact for Fig5to8 {
+    fn name(&self) -> &'static str {
+        "fig5to8"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig5", "fig6", "fig7", "fig8"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig5to8::run())
+    }
+}
+
+struct Fig9;
+impl Artifact for Fig9 {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig9::run())
+    }
+}
+
+struct Fig10;
+impl Artifact for Fig10 {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig10::run())
+    }
+}
+
+struct Fig11;
+impl Artifact for Fig11 {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fig11::run())
+    }
+}
+
+struct Table1;
+impl Artifact for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::table1::run())
+    }
+}
+
+struct Table2;
+impl Artifact for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::table2::run())
+    }
+}
+
+struct Table3;
+impl Artifact for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::table3::run())
+    }
+}
+
+struct Ablations;
+impl Artifact for Ablations {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::ablations::run())
+    }
+}
+
+struct Sweeps;
+impl Artifact for Sweeps {
+    fn name(&self) -> &'static str {
+        "sweeps"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::ext_sweeps::run())
+    }
+}
+
+struct Scenarios;
+impl Artifact for Scenarios {
+    fn name(&self) -> &'static str {
+        "scenarios"
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::scenarios::run())
+    }
+}
+
+struct ScenarioDse;
+impl Artifact for ScenarioDse {
+    fn name(&self) -> &'static str {
+        "scenario-dse"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["scenario_dse"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::scenario_dse::run())
+    }
 }
 
 /// The single registry every other list derives from: the JSON `all`
-/// expansion, name lookup (with aliases) and the error-message listing.
-const ARTIFACTS: [Artifact; 12] = [
-    artifact!("fig3", fig3),
-    artifact!("fig4", fig4),
-    artifact!("fig5to8", fig5to8, ["fig5", "fig6", "fig7", "fig8"]),
-    artifact!("fig9", fig9),
-    artifact!("fig10", fig10),
-    artifact!("fig11", fig11),
-    artifact!("table1", table1),
-    artifact!("table2", table2),
-    artifact!("table3", table3),
-    artifact!("ablations", ablations),
-    artifact!("sweeps", ext_sweeps),
-    artifact!("scenarios", scenarios),
+/// expansion, name lookup (with aliases), `--list` and the
+/// error-message listing.
+static ARTIFACTS: [&dyn Artifact; 13] = [
+    &Fig3,
+    &Fig4,
+    &Fig5to8,
+    &Fig9,
+    &Fig10,
+    &Fig11,
+    &Table1,
+    &Table2,
+    &Table3,
+    &Ablations,
+    &Sweeps,
+    &Scenarios,
+    &ScenarioDse,
 ];
 
-fn find(name: &str) -> Option<&'static Artifact> {
+fn find(name: &str) -> Option<&'static dyn Artifact> {
     ARTIFACTS
         .iter()
-        .find(|a| a.name == name || a.aliases.contains(&name))
+        .find(|a| a.name() == name || a.aliases().contains(&name))
+        .copied()
 }
 
 fn expected_names() -> String {
-    let names: Vec<&str> = ARTIFACTS.iter().map(|a| a.name).collect();
+    let names: Vec<&str> = ARTIFACTS.iter().map(|a| a.name()).collect();
     format!("{} or all", names.join(", "))
 }
 
-/// Parses the leading flags (`--json`, `--jobs N` / `--jobs=N`, in any
-/// order), leaving only artifact names in `args`. Returns the JSON flag
-/// and the requested worker count (`None` = not given), or an error
-/// message for a malformed `--jobs`. Pure: the caller applies the jobs
+/// One `--list --json` entry; the typed schema of the registry listing.
+#[derive(serde::Serialize)]
+struct ListedArtifact {
+    name: String,
+    aliases: Vec<String>,
+}
+
+/// The `--list` rendering: one artifact per line (text) or a JSON array
+/// of [`ListedArtifact`] objects.
+fn registry_listing(json: bool) -> String {
+    if json {
+        let entries: Vec<ListedArtifact> = ARTIFACTS
+            .iter()
+            .map(|a| ListedArtifact {
+                name: a.name().to_string(),
+                aliases: a.aliases().iter().map(|s| s.to_string()).collect(),
+            })
+            .collect();
+        serde_json::to_string_pretty(&entries).expect("registry serializes")
+    } else {
+        ARTIFACTS
+            .iter()
+            .map(|a| {
+                if a.aliases().is_empty() {
+                    a.name().to_string()
+                } else {
+                    format!("{} (aliases: {})", a.name(), a.aliases().join(", "))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Parsed command-line flags; remaining `args` are artifact names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Flags {
+    json: bool,
+    jobs: Option<usize>,
+    list: bool,
+}
+
+/// Extracts the flags (`--json`, `--list`, `--jobs N` / `--jobs=N`)
+/// from **anywhere** in argv — `repro fig3 --json` works — leaving only
+/// artifact names in `args`. Unknown `--flags` are an error rather than
+/// being mistaken for artifact names. Pure: the caller applies the jobs
 /// value to the executor.
-fn parse_flags(args: &mut Vec<String>) -> Result<(bool, Option<usize>), String> {
-    let mut json = false;
-    let mut jobs: Option<usize> = None;
-    while let Some(first) = args.first().cloned() {
-        if first == "--json" {
-            json = true;
-            args.remove(0);
-        } else if first == "--jobs" {
-            args.remove(0);
-            let value = (!args.is_empty()).then(|| args.remove(0));
-            jobs = Some(parse_jobs(value.as_deref())?);
-        } else if let Some(value) = first.strip_prefix("--jobs=") {
-            jobs = Some(parse_jobs(Some(value))?);
-            args.remove(0);
+fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        if arg == "--json" {
+            flags.json = true;
+            args.remove(i);
+        } else if arg == "--list" {
+            flags.list = true;
+            args.remove(i);
+        } else if arg == "--jobs" {
+            args.remove(i);
+            let value = (i < args.len()).then(|| args.remove(i));
+            flags.jobs = Some(parse_jobs(value.as_deref())?);
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            flags.jobs = Some(parse_jobs(Some(value))?);
+            args.remove(i);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
         } else {
-            break;
+            i += 1;
         }
     }
-    Ok((json, jobs))
+    Ok(flags)
 }
 
 fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
@@ -104,20 +289,31 @@ fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
-    let json = match parse_flags(&mut args) {
-        Ok((json, jobs)) => {
+    let flags = match parse_flags(&mut args) {
+        Ok(flags) => {
             // Explicit N pins the worker-pool width; otherwise all
             // cores. Results are bit-identical either way (see npu-par).
-            if let Some(jobs) = jobs {
+            if let Some(jobs) = flags.jobs {
                 npu_par::set_default_jobs(jobs);
             }
-            json
+            flags
         }
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    if flags.list {
+        // Refuse rather than silently dropping the named artifacts: a
+        // scripted `repro fig3 --list` must not exit 0 without running
+        // (or even mentioning) fig3.
+        if !args.is_empty() {
+            eprintln!("--list does not combine with artifact names (got {args:?})");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", registry_listing(flags.json));
+        return ExitCode::SUCCESS;
+    }
     if args.is_empty() {
         args.push("all".to_string());
     }
@@ -125,10 +321,10 @@ fn main() -> ExitCode {
     let mut ok = true;
     for arg in &args {
         if arg == "all" {
-            if json {
+            if flags.json {
                 // One JSON document per artifact, registry order.
-                for artifact in &ARTIFACTS {
-                    println!("{}", (artifact.json)());
+                for artifact in ARTIFACTS {
+                    println!("{}", artifact.run().json());
                 }
             } else {
                 // The curated full report (paper section order).
@@ -137,8 +333,15 @@ fn main() -> ExitCode {
             continue;
         }
         match find(arg) {
-            Some(artifact) if json => println!("{}", (artifact.json)()),
-            Some(artifact) => print!("{}", (artifact.text)()),
+            Some(artifact) => {
+                // One computation, rendered in the requested format.
+                let rendered = artifact.run();
+                if flags.json {
+                    println!("{}", rendered.json());
+                } else {
+                    print!("{}", rendered.text());
+                }
+            }
             None => {
                 eprintln!("unknown artifact `{arg}`; expected {}", expected_names());
                 ok = false;
@@ -159,8 +362,9 @@ mod tests {
     #[test]
     fn aliases_resolve_to_the_panel() {
         for alias in ["fig5", "fig6", "fig7", "fig8", "fig5to8"] {
-            assert_eq!(find(alias).unwrap().name, "fig5to8");
+            assert_eq!(find(alias).unwrap().name(), "fig5to8");
         }
+        assert_eq!(find("scenario_dse").unwrap().name(), "scenario-dse");
     }
 
     #[test]
@@ -172,24 +376,89 @@ mod tests {
     #[test]
     fn expected_names_lists_every_artifact() {
         let listing = expected_names();
-        for a in &ARTIFACTS {
-            assert!(listing.contains(a.name));
+        for a in ARTIFACTS {
+            assert!(listing.contains(a.name()));
         }
+    }
+
+    #[test]
+    fn registry_names_and_aliases_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for a in ARTIFACTS {
+            assert!(seen.insert(a.name()), "duplicate name {}", a.name());
+            for alias in a.aliases() {
+                assert!(seen.insert(alias), "duplicate alias {alias}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_covers_the_registry_in_both_formats() {
+        let text = registry_listing(false);
+        assert_eq!(text.lines().count(), ARTIFACTS.len());
+        assert!(text.contains("fig5to8 (aliases: fig5, fig6, fig7, fig8)"));
+        let json = registry_listing(true);
+        let parsed: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let entries = parsed.as_array().expect("a JSON array");
+        assert_eq!(entries.len(), ARTIFACTS.len());
+        assert_eq!(
+            entries[0].get("name").and_then(|v| v.as_str()),
+            Some("fig3")
+        );
     }
 
     #[test]
     fn flags_parse_in_any_order() {
         let mut args: Vec<String> = ["--jobs", "2", "--json", "fig3"].map(String::from).to_vec();
-        assert_eq!(parse_flags(&mut args), Ok((true, Some(2))));
+        assert_eq!(
+            parse_flags(&mut args),
+            Ok(Flags {
+                json: true,
+                jobs: Some(2),
+                list: false
+            })
+        );
         assert_eq!(args, vec!["fig3".to_string()]);
 
         let mut args: Vec<String> = ["--json", "--jobs=4"].map(String::from).to_vec();
-        assert_eq!(parse_flags(&mut args), Ok((true, Some(4))));
+        assert_eq!(
+            parse_flags(&mut args),
+            Ok(Flags {
+                json: true,
+                jobs: Some(4),
+                list: false
+            })
+        );
         assert!(args.is_empty());
 
         let mut args: Vec<String> = ["fig3".to_string()].to_vec();
-        assert_eq!(parse_flags(&mut args), Ok((false, None)));
+        assert_eq!(parse_flags(&mut args), Ok(Flags::default()));
         assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn flags_are_accepted_after_artifact_names() {
+        // The ISSUE 4 parse fix: `repro fig3 --json` used to treat
+        // `--json` as an unknown artifact.
+        let mut args: Vec<String> = ["fig3", "--json"].map(String::from).to_vec();
+        let flags = parse_flags(&mut args).unwrap();
+        assert!(flags.json);
+        assert_eq!(args, vec!["fig3".to_string()]);
+
+        let mut args: Vec<String> = ["fig3", "--jobs", "3", "table1", "--list"]
+            .map(String::from)
+            .to_vec();
+        let flags = parse_flags(&mut args).unwrap();
+        assert_eq!(flags.jobs, Some(3));
+        assert!(flags.list);
+        assert_eq!(args, vec!["fig3".to_string(), "table1".to_string()]);
+    }
+
+    #[test]
+    fn unknown_flags_error_out() {
+        let mut args: Vec<String> = ["fig3", "--frobnicate"].map(String::from).to_vec();
+        let err = parse_flags(&mut args).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
     }
 
     #[test]
@@ -197,5 +466,7 @@ mod tests {
         assert!(parse_flags(&mut vec!["--jobs".to_string()]).is_err());
         assert!(parse_flags(&mut vec!["--jobs".to_string(), "0".to_string()]).is_err());
         assert!(parse_flags(&mut vec!["--jobs=notanumber".to_string()]).is_err());
+        // A trailing `--jobs` after an artifact name still errors.
+        assert!(parse_flags(&mut vec!["fig3".to_string(), "--jobs".to_string()]).is_err());
     }
 }

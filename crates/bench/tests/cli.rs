@@ -62,7 +62,93 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 12, "expected 12 JSON documents:\n{stdout}");
+    assert_eq!(docs, 13, "expected 13 JSON documents:\n{stdout}");
+}
+
+#[test]
+fn list_prints_the_registry_one_artifact_per_line() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success(), "repro --list failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 13, "one line per artifact:\n{stdout}");
+    assert_eq!(lines[0], "fig3");
+    assert!(
+        lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
+        "{stdout}"
+    );
+    assert!(
+        lines.contains(&"scenario-dse (aliases: scenario_dse)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn list_json_emits_a_json_array() {
+    for args in [&["--list", "--json"][..], &["--json", "--list"]] {
+        let out = repro(args);
+        assert!(out.status.success(), "repro {args:?} failed");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+        let entries = value.as_array().expect("a top-level JSON array");
+        assert_eq!(entries.len(), 13);
+        let names: Vec<&str> = entries
+            .iter()
+            .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())
+            .collect();
+        assert!(names.contains(&"scenario-dse"), "{names:?}");
+        // Aliases ride along as arrays.
+        let panel = entries
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("fig5to8"))
+            .expect("fig5to8 listed");
+        assert_eq!(
+            panel
+                .get("aliases")
+                .and_then(|v| v.as_array())
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+}
+
+#[test]
+fn flags_are_accepted_anywhere_in_argv() {
+    // `repro fig3 --json` used to fail with "unknown artifact `--json`".
+    let trailing = repro(&["fig3", "--json"]);
+    assert!(trailing.status.success(), "repro fig3 --json failed");
+    let leading = repro(&["--json", "fig3"]);
+    assert_eq!(
+        String::from_utf8(trailing.stdout).unwrap(),
+        String::from_utf8(leading.stdout).unwrap(),
+        "flag position must not change the output"
+    );
+
+    let mixed = repro(&["fig3", "--jobs", "2", "--json"]);
+    assert!(mixed.status.success(), "repro fig3 --jobs 2 --json failed");
+    let stdout = String::from_utf8(mixed.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    assert!(value.as_object().is_some());
+}
+
+#[test]
+fn list_refuses_artifact_names() {
+    let out = repro(&["fig3", "--list"]);
+    assert!(!out.status.success(), "mixing --list with names must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("--list does not combine"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flags_exit_nonzero() {
+    let out = repro(&["fig3", "--frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
 }
 
 #[test]

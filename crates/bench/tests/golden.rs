@@ -82,3 +82,11 @@ fn scenarios_json_matches_golden() {
 fn fig3_json_matches_golden() {
     check_golden("fig3");
 }
+
+/// The scenario-aware package DSE: the new artifact of ISSUE 4. Pinning
+/// it byte-for-byte also pins the cheapest-feasible selection, which
+/// must be identical at any `--jobs` count (the runner pins 2 workers).
+#[test]
+fn scenario_dse_json_matches_golden() {
+    check_golden("scenario-dse");
+}

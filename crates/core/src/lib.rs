@@ -31,6 +31,7 @@
 //! | [`sched`] | sharding, Algorithm 1, baselines, trunk DSE |
 //! | [`pipesim`] | discrete-event validation simulator |
 //! | [`scenario`] | driving scenarios: rigs, modes, arrival processes |
+//! | [`study`] | unified sweep/DSE query surface (axes, grids, objectives) |
 //! | [`experiments`] | every paper table & figure, regenerated |
 //! | [`par`] | scoped-thread parallel sweep executor (`par_map`) |
 
@@ -43,6 +44,7 @@ pub use npu_par as par;
 pub use npu_pipesim as pipesim;
 pub use npu_scenario as scenario;
 pub use npu_sched as sched;
+pub use npu_study as study;
 pub use npu_tensor as tensor;
 
 /// Commonly used items in one import.
@@ -56,6 +58,7 @@ pub mod prelude {
         baseline_schedule, evaluate, EvalReport, MatchOutcome, MatcherConfig, Pipelining, Schedule,
         ThroughputMatcher,
     };
+    pub use npu_study::{Axis, Constraint, Grid, Objective, Render, Study, StudyReport};
     pub use npu_tensor::{Bytes, Dtype, Joules, MacCount, Seconds};
 
     pub use crate::Platform;

@@ -19,6 +19,7 @@
 //! | Ablations (scheduler / dataflow / cost model) | [`ablations`] |
 //! | Extension sweeps (scaling, failure injection) | [`ext_sweeps`] |
 //! | Scenario workbench (driving workload envelope) | [`scenarios`] |
+//! | Scenario-aware package DSE (cheapest feasible package) | [`scenario_dse`] |
 //!
 //! # Examples
 //!
@@ -36,6 +37,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5to8;
 pub mod fig9;
+pub mod scenario_dse;
 pub mod scenarios;
 pub mod table1;
 pub mod table2;
@@ -51,7 +53,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 12] = [
+    let sections: [fn() -> String; 13] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -64,6 +66,7 @@ pub fn run_all() -> String {
         || ablations::run().to_string(),
         || ext_sweeps::run().to_string(),
         || scenarios::run().to_string(),
+        || scenario_dse::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()
 }

@@ -1,82 +1,11 @@
-//! Minimal aligned text-table rendering.
+//! Text rendering helpers.
+//!
+//! The aligned-table type itself now lives in `npu-study` (it is the
+//! `StudyReport` rendering surface); it is re-exported here so every
+//! experiment module — and downstream users of
+//! `npu_experiments::TextTable` — keep their import paths.
 
-use std::fmt;
-
-/// A column-aligned text table with a title.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct TextTable {
-    title: String,
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-    notes: Vec<String>,
-}
-
-impl TextTable {
-    /// Creates a table with a title and column headers.
-    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
-        TextTable {
-            title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-            notes: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width does not match the header.
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
-        self
-    }
-
-    /// Appends a free-text note rendered under the table.
-    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
-        self.notes.push(s.into());
-        self
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True if the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-}
-
-impl fmt::Display for TextTable {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        writeln!(f, "\n=== {} ===", self.title)?;
-        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            for (w, cell) in widths.iter().zip(cells) {
-                write!(f, "{cell:>w$}  ", w = w)?;
-            }
-            writeln!(f)
-        };
-        line(f, &self.header)?;
-        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-        writeln!(f, "{}", "-".repeat(total))?;
-        for row in &self.rows {
-            line(f, row)?;
-        }
-        for n in &self.notes {
-            writeln!(f, "  * {n}")?;
-        }
-        Ok(())
-    }
-}
+pub use npu_study::TextTable;
 
 /// Formats a millisecond quantity.
 pub(crate) fn ms(s: npu_tensor::Seconds) -> String {
@@ -93,21 +22,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_aligned() {
+    fn reexported_table_renders() {
         let mut t = TextTable::new("Demo", &["a", "metric"]);
         t.row(vec!["x".into(), "1.0".into()]);
-        t.note("a note");
-        let s = t.to_string();
-        assert!(s.contains("=== Demo ==="));
-        assert!(s.contains("a note"));
-        assert_eq!(t.len(), 1);
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "row width")]
-    fn width_mismatch_panics() {
-        TextTable::new("t", &["a"]).row(vec!["1".into(), "2".into()]);
+        assert!(t.to_string().contains("=== Demo ==="));
     }
 
     #[test]

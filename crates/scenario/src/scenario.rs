@@ -162,6 +162,28 @@ impl Scenario {
         }
     }
 
+    /// The family's steady-interval latency target: the slowest
+    /// sustained frame interval at which this scenario still counts as
+    /// served. Compute-bound families get the 100 ms perception floor
+    /// (10 FPS, the envelope of the paper's `L_cstr`); arrival-bound
+    /// rigs (throttled cameras, sparse trace logs) are relaxed to 1.25×
+    /// their mean arrival interval — a platform cannot complete frames
+    /// faster than they arrive, so the target tracks the source with a
+    /// 25% scheduling-slack margin.
+    ///
+    /// Scenario-aware DSE (`repro scenario-dse`) declares a package
+    /// feasible only when every family's DES-measured steady interval
+    /// meets its target.
+    pub fn latency_target(&self) -> Seconds {
+        let floor = Seconds::from_millis(100.0);
+        match self.arrivals().mean_interval() {
+            Some(mean) if mean.as_secs() * 1.25 > floor.as_secs() => {
+                Seconds::new(mean.as_secs() * 1.25)
+            }
+            _ => floor,
+        }
+    }
+
     /// The built-in scenario families the workbench sweeps: the paper's
     /// steady state plus urban, reduced-rig, degraded, bursty,
     /// arrival-bound and trace-replay operation.
@@ -311,6 +333,20 @@ mod tests {
         assert_eq!(fast.predicted_interval(pipe), pipe);
         // 2 FPS arrivals (500 ms) leave the pipeline idle: arrival-bound.
         assert_eq!(slow.predicted_interval(pipe), Seconds::new(0.5));
+    }
+
+    #[test]
+    fn latency_target_tracks_the_binding_constraint() {
+        // 30 FPS cameras outpace the 100 ms floor: the floor binds.
+        let cruise = Scenario::new("c", CameraRig::octa_ring(), OperatingMode::HighwayCruise);
+        assert_eq!(cruise.latency_target(), Seconds::from_millis(100.0));
+        // An 8 FPS night rig is arrival-bound: 1.25 x 125 ms.
+        let night = Scenario::new(
+            "n",
+            CameraRig::new(8, (360, 640), 8.0),
+            OperatingMode::HighwayCruise,
+        );
+        assert!((night.latency_target().as_millis() - 156.25).abs() < 1e-9);
     }
 
     #[test]

@@ -4,17 +4,19 @@
 //! build the scenario's workload, match it onto the package with
 //! Algorithm 1, evaluate analytically, then drive the discrete-event
 //! simulator with the scenario's own arrival process and compare the
-//! measured steady interval against the analytic prediction. Points fan
-//! out on the `npu_core::par` worker pool behind a shared
-//! [`MemoCostModel`]; results come back in input order and are
-//! bit-identical to a serial run at any jobs count.
+//! measured steady interval against the analytic prediction. The grid
+//! is a scenario × package [`Study`]: points fan out
+//! on the `npu_core::par` worker pool behind a shared
+//! [`MemoCostModel`](npu_maestro::MemoCostModel); results come back in
+//! input order and are bit-identical to a serial run at any jobs count.
 
 use serde::{Deserialize, Serialize};
 
-use npu_maestro::{CostModel, MemoCostModel};
+use npu_maestro::CostModel;
 use npu_mcm::McmPackage;
 use npu_pipesim::simulate;
 use npu_sched::{MatcherConfig, ThroughputMatcher};
+use npu_study::{Axis, Grid, Study};
 use npu_tensor::{Joules, Seconds};
 
 use crate::scenario::Scenario;
@@ -65,14 +67,11 @@ pub fn scenario_sweep(
     model: &dyn CostModel,
     frames: usize,
 ) -> Vec<ScenarioPoint> {
-    let memo = MemoCostModel::new(model);
-    let grid: Vec<(&Scenario, &McmPackage)> = scenarios
-        .iter()
-        .flat_map(|s| packages.iter().map(move |p| (s, p)))
-        .collect();
-    npu_par::par_map(&grid, |&(scenario, pkg)| {
-        evaluate_point(scenario, pkg, &memo, frames)
-    })
+    let grid = Grid::of(Axis::new("scenario", scenarios.to_vec()))
+        .cross(Axis::new("package", packages.to_vec()));
+    Study::new("scenario-grid", grid, model)
+        .run(|(scenario, pkg), model| evaluate_point(scenario, pkg, model, frames))
+        .into_metrics()
 }
 
 /// Schedules, evaluates and simulates one grid point.

@@ -25,9 +25,10 @@
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::{PerceptionPipeline, StageKind};
-use npu_maestro::{CostModel, MemoCostModel};
+use npu_maestro::CostModel;
 use npu_mcm::hetero::{het_candidates, with_ws_chiplets};
 use npu_mcm::{stage_regions, ChipletId, McmPackage};
+use npu_study::{Axis, Grid, Study};
 use npu_tensor::{Dtype, Seconds};
 
 use crate::eval::{evaluate, EvalReport};
@@ -120,11 +121,11 @@ struct Combo {
 /// (minimum-EDP) feasible configuration, or the minimum-pipe configuration
 /// if nothing is feasible.
 ///
-/// The search-space points are independent, so they are scored on the
-/// `npu-par` worker pool (`npu_par::current_jobs()` threads) behind a
-/// shared memoized cost model; results are folded in enumeration order,
-/// so the winning configuration — including tie-breaks — is bit-identical
-/// to the serial search at any jobs count.
+/// The search is a one-axis [`Study`] over the combo enumeration: points
+/// are scored on the `npu-par` worker pool behind the study's shared
+/// memoized cost model, and the winner is picked with the study's
+/// first-minimum `argmin_by` — so the winning configuration, including
+/// tie-breaks, is bit-identical to the serial search at any jobs count.
 pub fn explore_trunks(
     pipeline: &PerceptionPipeline,
     pkg: &McmPackage,
@@ -132,7 +133,6 @@ pub fn explore_trunks(
     model: &dyn CostModel,
     cfg: DseConfig,
 ) -> DseResult {
-    let model = &MemoCostModel::new(model);
     let region = stage_regions(pkg, 4)[3].clone();
     let (het_pkg, ws_ids) = match variant {
         TrunkVariant::OsOnly => (pkg.clone(), Vec::new()),
@@ -154,8 +154,12 @@ pub fn explore_trunks(
     let trunk_stage = pipeline.stage(StageKind::Trunks);
 
     // Score every combo on the worker pool; each point is independent.
-    let combos = enumerate_combos(variant);
-    let scored: Vec<Option<(Schedule, EvalReport, bool)>> = npu_par::par_map(&combos, |combo| {
+    let run = Study::new(
+        "trunk-dse",
+        Grid::of(Axis::new("combo", enumerate_combos(variant))),
+        model,
+    )
+    .run(|combo, model| -> Option<(Schedule, EvalReport, bool)> {
         let stage_plan = build_stage_plan(
             trunk_stage,
             combo,
@@ -174,16 +178,12 @@ pub fn explore_trunks(
         Some((schedule, report, feasible))
     });
 
-    // Fold in enumeration order: the strict `<` keeps the first minimum,
-    // exactly as the serial loop did.
-    let mut best: Option<(f64, Schedule, EvalReport, bool)> = None;
-    let mut searched = 0usize;
-    for (combo, entry) in combos.iter().zip(scored) {
-        let Some((schedule, report, feasible)) = entry else {
-            continue;
-        };
-        searched += 1;
-        if std::env::var("DSE_DEBUG").is_ok() {
+    let searched = run.metrics().iter().flatten().count();
+    if std::env::var("DSE_DEBUG").is_ok() {
+        for (combo, entry) in run.iter() {
+            let Some((_, report, feasible)) = entry else {
+                continue;
+            };
             eprintln!(
                 "combo {:?} pipe={:.1}ms e={:.1}mJ feas={}",
                 combo,
@@ -192,19 +192,27 @@ pub fn explore_trunks(
                 feasible
             );
         }
-        // Feasible configs score by EDP (lower better); infeasible ones by
-        // a large penalty plus pipe so the least-bad is kept as fallback.
-        let score = if feasible {
-            report.edp().as_joule_secs()
-        } else {
-            1e6 + report.pipe.as_secs()
-        };
-        if best.as_ref().map(|(s, _, _, _)| score < *s).unwrap_or(true) {
-            best = Some((score, schedule, report, feasible));
-        }
     }
 
-    let (_, schedule, report, feasible) = best.expect("search space is never empty");
+    // Feasible configs score by EDP (lower better); infeasible ones by
+    // a large penalty plus pipe so the least-bad is kept as fallback.
+    // `argmin_by` folds in enumeration order with strict `<`, keeping the
+    // first minimum exactly as the old serial loop did.
+    let best = run
+        .argmin_by(|_, entry| {
+            entry.as_ref().map(|(_, report, feasible)| {
+                if *feasible {
+                    report.edp().as_joule_secs()
+                } else {
+                    1e6 + report.pipe.as_secs()
+                }
+            })
+        })
+        .expect("search space is never empty");
+    let (schedule, report, feasible) = run
+        .into_metrics()
+        .swap_remove(best)
+        .expect("winning combo evaluated");
     DseResult {
         variant: variant.label(),
         report,

@@ -7,22 +7,26 @@
 //!   and re-run Algorithm 1 on the degraded package, measuring graceful
 //!   degradation (the modularity argument for chiplets in §I).
 //!
-//! Every sweep point is an independent schedule-and-score run, so the
-//! sweeps fan their grids out on the `npu-par` worker pool behind a
-//! shared [`MemoCostModel`]; results come back in input order and are
-//! bit-identical to a serial run at any jobs count (pin with
-//! `npu_par::with_jobs`). Caching is deliberately two-layer: this shared
-//! cache computes each distinct cost once *across* points, while the
-//! matcher's internal per-point cache (see `ThroughputMatcher::new`)
-//! absorbs the repeated hits *within* one match — the small double-store
-//! on first sight of an entry is the price of sharing safely.
+//! Every sweep is a thin wrapper over the unified [`Study`] query
+//! surface (`npu-study`): one [`Axis`] per swept quantity, cartesian
+//! expansion in deterministic input order, execution fanned out on the
+//! `npu-par` worker pool behind a shared
+//! [`MemoCostModel`](npu_maestro::MemoCostModel); results come back in
+//! input order and are bit-identical to a serial run at any jobs count
+//! (pin with `npu_par::with_jobs`). Caching is deliberately two-layer:
+//! the study's shared cache computes each distinct cost once *across*
+//! points, while the matcher's internal per-point cache (see
+//! `ThroughputMatcher::new`) absorbs the repeated hits *within* one
+//! match — the small double-store on first sight of an entry is the
+//! price of sharing safely.
 
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::PerceptionPipeline;
-use npu_maestro::{Accelerator, CostModel, MemoCostModel};
+use npu_maestro::{Accelerator, CostModel};
 use npu_mcm::McmPackage;
 use npu_noc::{LinkParams, Mesh2d};
+use npu_study::{Axis, Grid, Study};
 use npu_tensor::{Joules, Seconds};
 
 use crate::throughput_match::{MatcherConfig, ThroughputMatcher};
@@ -56,14 +60,18 @@ pub fn chiplet_count_sweep(
     meshes: &[(u32, u32)],
     model: &dyn CostModel,
 ) -> Vec<SweepPoint> {
-    let memo = MemoCostModel::new(model);
-    npu_par::par_map(meshes, |&(w, h)| {
+    Study::new(
+        "chiplet-count",
+        Grid::of(Axis::new("mesh", meshes.to_vec())),
+        model,
+    )
+    .run(|&(w, h), model| {
         let pkg = package(w, h);
         let cfg = MatcherConfig {
             allow_fe_split: true,
             ..MatcherConfig::default()
         };
-        let outcome = ThroughputMatcher::new(&memo, cfg).minimize(pipeline, &pkg);
+        let outcome = ThroughputMatcher::new(model, cfg).minimize(pipeline, &pkg);
         SweepPoint {
             x: (w * h) as u64,
             pipe: outcome.report.pipe,
@@ -72,6 +80,7 @@ pub fn chiplet_count_sweep(
             utilization: outcome.report.utilization_used,
         }
     })
+    .into_metrics()
 }
 
 /// Failure injection: re-schedules the pipeline on a 6×6 package with the
@@ -86,15 +95,19 @@ pub fn failure_sweep(
     failed: &[u64],
     model: &dyn CostModel,
 ) -> Vec<SweepPoint> {
-    let memo = MemoCostModel::new(model);
-    npu_par::par_map(failed, |&k| {
+    Study::new(
+        "failure-injection",
+        Grid::of(Axis::new("failed", failed.to_vec())),
+        model,
+    )
+    .run(|&k, model| {
         // Remove whole trailing rows/chiplets by rebuilding a smaller
         // mesh: 36 - k chiplets arranged as close to 6x6 as possible.
         let keep = 36u64.saturating_sub(k).max(4);
         let w = 6u32;
         let h = keep.div_ceil(u64::from(w)) as u32;
         let pkg = package(w, h.max(1));
-        let outcome = ThroughputMatcher::new(&memo, MatcherConfig::default())
+        let outcome = ThroughputMatcher::new(model, MatcherConfig::default())
             .match_throughput(pipeline, &pkg);
         SweepPoint {
             x: k,
@@ -104,6 +117,7 @@ pub fn failure_sweep(
             utilization: outcome.report.utilization_used,
         }
     })
+    .into_metrics()
 }
 
 /// One NoP-bandwidth sensitivity point.
@@ -130,14 +144,18 @@ pub fn nop_bandwidth_sweep(
     // NoP transfer costs depend on the link parameters, not on
     // `CostModel::layer_cost`, so one layer-cost cache is sound across
     // the bandwidth grid.
-    let memo = MemoCostModel::new(model);
-    npu_par::par_map(bandwidths_gbps, |&gbps| {
+    Study::new(
+        "nop-bandwidth",
+        Grid::of(Axis::new("bandwidth_gbps", bandwidths_gbps.to_vec())),
+        model,
+    )
+    .run(|&gbps, model| {
         let link = LinkParams {
             bandwidth_bytes_per_sec: gbps * 1e9,
             ..LinkParams::simba_28nm()
         };
         let pkg = McmPackage::simba_6x6().with_link(link);
-        let outcome = ThroughputMatcher::new(&memo, MatcherConfig::default())
+        let outcome = ThroughputMatcher::new(model, MatcherConfig::default())
             .match_throughput(pipeline, &pkg);
         let nop_total: f64 = outcome
             .report
@@ -152,6 +170,7 @@ pub fn nop_bandwidth_sweep(
             nop_latency_share: nop_total / busy_total,
         }
     })
+    .into_metrics()
 }
 
 #[cfg(test)]

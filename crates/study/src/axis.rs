@@ -1,0 +1,77 @@
+//! A named, ordered list of levels to sweep.
+
+/// One declarative sweep axis: a name plus the ordered levels the study
+/// visits. Levels can be any `Clone` type — mesh geometries, bandwidths,
+/// trunk variants, whole `Scenario` values — so the domain crates supply
+/// their own axes without this crate knowing their types.
+///
+/// # Examples
+///
+/// ```
+/// use npu_study::Axis;
+///
+/// let meshes = Axis::new("mesh", vec![(4u32, 4u32), (6, 6), (12, 6)]);
+/// assert_eq!(meshes.name(), "mesh");
+/// assert_eq!(meshes.levels().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis<T> {
+    name: String,
+    levels: Vec<T>,
+}
+
+impl<T> Axis<T> {
+    /// Creates an axis from its name and ordered levels.
+    pub fn new(name: impl Into<String>, levels: impl IntoIterator<Item = T>) -> Self {
+        Axis {
+            name: name.into(),
+            levels: levels.into_iter().collect(),
+        }
+    }
+
+    /// The axis name (used in reports and grid metadata).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered levels.
+    pub fn levels(&self) -> &[T] {
+        &self.levels
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the axis has no levels (its grid expands to nothing).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Consumes the axis into its parts.
+    pub(crate) fn into_parts(self) -> (String, Vec<T>) {
+        (self.name, self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_keeps_name_and_order() {
+        let a = Axis::new("bw", [100.0, 10.0, 1.0]);
+        assert_eq!(a.name(), "bw");
+        assert_eq!(a.levels(), &[100.0, 10.0, 1.0]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_axis_is_empty() {
+        let a: Axis<u64> = Axis::new("none", []);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

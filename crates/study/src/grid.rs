@@ -1,0 +1,139 @@
+//! Deterministic cartesian-product expansion of axes.
+
+use crate::axis::Axis;
+
+/// The cartesian product of one or more [`Axis`] values, expanded
+/// eagerly into a flat point list with a **deterministic ordering**:
+/// the first axis is outermost (slowest-varying), each [`cross`] adds a
+/// faster-varying inner axis. Point `(i, j)` of a two-axis grid lands at
+/// flat index `i * b.len() + j` — the exact order every legacy sweep
+/// iterated, so downstream folds, argmins and tie-breaks are preserved.
+///
+/// [`cross`]: Grid::cross
+///
+/// # Examples
+///
+/// ```
+/// use npu_study::{Axis, Grid};
+///
+/// let g = Grid::of(Axis::new("a", vec!['x', 'y']))
+///     .cross(Axis::new("b", vec![1u8, 2, 3]));
+/// assert_eq!(g.axes(), ["a", "b"]);
+/// assert_eq!(g.shape(), [2, 3]);
+/// assert_eq!(g.points()[4], ('y', 2)); // index = 1 * 3 + 1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid<P> {
+    axes: Vec<String>,
+    shape: Vec<usize>,
+    points: Vec<P>,
+}
+
+impl<A> Grid<A> {
+    /// A one-axis grid: the points are the axis levels, in order.
+    pub fn of(axis: Axis<A>) -> Grid<A> {
+        let (name, levels) = axis.into_parts();
+        Grid {
+            axes: vec![name],
+            shape: vec![levels.len()],
+            points: levels,
+        }
+    }
+}
+
+impl<P: Clone> Grid<P> {
+    /// Crosses the grid with another axis: every existing point is paired
+    /// with every level of `axis`, existing-point-major / level-minor.
+    pub fn cross<B: Clone>(self, axis: Axis<B>) -> Grid<(P, B)> {
+        let (name, levels) = axis.into_parts();
+        let points = self
+            .points
+            .iter()
+            .flat_map(|p| levels.iter().map(move |l| (p.clone(), l.clone())))
+            .collect();
+        let mut axes = self.axes;
+        axes.push(name);
+        let mut shape = self.shape;
+        shape.push(levels.len());
+        Grid {
+            axes,
+            shape,
+            points,
+        }
+    }
+}
+
+impl<P> Grid<P> {
+    /// Axis names, outermost first.
+    pub fn axes(&self) -> &[String] {
+        &self.axes
+    }
+
+    /// Levels per axis, outermost first. The product equals [`len`].
+    ///
+    /// [`len`]: Grid::len
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The expanded points, in deterministic cartesian order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Number of expanded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when any axis is empty (the product collapses to nothing).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Consumes the grid into `(axes, points)`.
+    pub(crate) fn into_parts(self) -> (Vec<String>, Vec<P>) {
+        (self.axes, self.points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_axis_grid_is_the_axis() {
+        let g = Grid::of(Axis::new("k", vec![0u64, 3, 6]));
+        assert_eq!(g.points(), &[0, 3, 6]);
+        assert_eq!(g.axes(), ["k"]);
+        assert_eq!(g.shape(), [3]);
+    }
+
+    #[test]
+    fn cross_is_first_axis_major() {
+        let g = Grid::of(Axis::new("s", vec!["a", "b"])).cross(Axis::new("p", vec![1u8, 2]));
+        assert_eq!(
+            g.points(),
+            &[("a", 1), ("a", 2), ("b", 1), ("b", 2)],
+            "scenario-major, package-minor — the legacy sweep order"
+        );
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn triple_cross_nests_right() {
+        let g = Grid::of(Axis::new("a", vec![0u8, 1]))
+            .cross(Axis::new("b", vec![0u8, 1]))
+            .cross(Axis::new("c", vec![0u8, 1]));
+        assert_eq!(g.shape(), [2, 2, 2]);
+        // Flat index of ((a, b), c) is a*4 + b*2 + c.
+        assert_eq!(g.points()[5], ((1, 0), 1));
+    }
+
+    #[test]
+    fn empty_axis_collapses_the_grid() {
+        let g = Grid::of(Axis::new("a", vec![1u8, 2])).cross(Axis::<u8>::new("b", []));
+        assert!(g.is_empty());
+        assert_eq!(g.shape(), [2, 0]);
+    }
+}

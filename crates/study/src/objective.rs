@@ -1,0 +1,149 @@
+//! Pluggable scoring and feasibility for study results.
+
+/// Whether an [`Objective`] prefers smaller or larger scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller raw scores are better (latency, energy, EDP, cost).
+    Minimize,
+    /// Larger raw scores are better (throughput, utilization).
+    Maximize,
+}
+
+/// A named scoring function over per-point metrics. Selection always
+/// minimizes the *oriented* score ([`Objective::score`]), so maximizing
+/// objectives negate internally.
+pub struct Objective<M> {
+    name: String,
+    direction: Direction,
+    score: Box<dyn Fn(&M) -> f64 + Send + Sync>,
+}
+
+impl<M> Objective<M> {
+    /// An objective preferring smaller `f` values.
+    pub fn minimize(
+        name: impl Into<String>,
+        f: impl Fn(&M) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        Objective {
+            name: name.into(),
+            direction: Direction::Minimize,
+            score: Box::new(f),
+        }
+    }
+
+    /// An objective preferring larger `f` values.
+    pub fn maximize(
+        name: impl Into<String>,
+        f: impl Fn(&M) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        Objective {
+            name: name.into(),
+            direction: Direction::Maximize,
+            score: Box::new(f),
+        }
+    }
+
+    /// The objective's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The optimization direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The oriented score: lower is always better.
+    pub fn score(&self, metrics: &M) -> f64 {
+        let raw = (self.score)(metrics);
+        match self.direction {
+            Direction::Minimize => raw,
+            Direction::Maximize => -raw,
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Objective<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Objective")
+            .field("name", &self.name)
+            .field("direction", &self.direction)
+            .finish()
+    }
+}
+
+/// A named feasibility predicate over per-point metrics: a latency
+/// target, an energy budget, a DES-vs-analytic agreement bound.
+pub struct Constraint<M> {
+    name: String,
+    check: Box<dyn Fn(&M) -> bool + Send + Sync>,
+}
+
+impl<M> Constraint<M> {
+    /// A constraint from an arbitrary predicate.
+    pub fn new(name: impl Into<String>, f: impl Fn(&M) -> bool + Send + Sync + 'static) -> Self {
+        Constraint {
+            name: name.into(),
+            check: Box::new(f),
+        }
+    }
+
+    /// A constraint holding while `f(metrics) <= limit` — the common
+    /// latency-target / energy-budget / drift-bound shape.
+    pub fn at_most(
+        name: impl Into<String>,
+        limit: f64,
+        f: impl Fn(&M) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        Constraint::new(name, move |m| f(m) <= limit)
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `metrics` satisfies the constraint.
+    pub fn holds(&self, metrics: &M) -> bool {
+        (self.check)(metrics)
+    }
+}
+
+impl<M> std::fmt::Debug for Constraint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximize_negates_the_oriented_score() {
+        let min = Objective::minimize("lat", |&x: &f64| x);
+        let max = Objective::maximize("fps", |&x: &f64| x);
+        assert_eq!(min.score(&2.0), 2.0);
+        assert_eq!(max.score(&2.0), -2.0);
+        assert_eq!(min.direction(), Direction::Minimize);
+        assert_eq!(max.name(), "fps");
+    }
+
+    #[test]
+    fn at_most_is_inclusive() {
+        let c = Constraint::at_most("latency", 0.085, |&x: &f64| x);
+        assert!(c.holds(&0.085));
+        assert!(!c.holds(&0.086));
+        assert_eq!(c.name(), "latency");
+    }
+
+    #[test]
+    fn debug_formats_names() {
+        let c = Constraint::new("feasible", |_: &u8| true);
+        let o = Objective::minimize("edp", |_: &u8| 0.0);
+        assert!(format!("{c:?}").contains("feasible"));
+        assert!(format!("{o:?}").contains("edp"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the `Study` expansion contract (ISSUE 4):
+//! cartesian-product ordering is stable, and execution is bit-identical
+//! between serial and parallel runs at jobs 1/2/8.
+
+use proptest::prelude::*;
+
+use npu_maestro::FittedMaestro;
+use npu_study::{Axis, Grid, Study};
+
+proptest! {
+    /// Point `(i, j)` of `a × b` lands at flat index `i * b.len() + j`,
+    /// for any axis contents — the ordering every downstream fold,
+    /// argmin and golden file relies on.
+    #[test]
+    fn cross_ordering_is_stable(
+        a in proptest::collection::vec(0u64..1_000_000, 1..7),
+        b in proptest::collection::vec(0u64..1_000_000, 1..7),
+    ) {
+        let grid = Grid::of(Axis::new("a", a.clone())).cross(Axis::new("b", b.clone()));
+        prop_assert_eq!(grid.len(), a.len() * b.len());
+        prop_assert_eq!(grid.shape(), &[a.len(), b.len()][..]);
+        for (i, &left) in a.iter().enumerate() {
+            for (j, &right) in b.iter().enumerate() {
+                prop_assert_eq!(grid.points()[i * b.len() + j], (left, right));
+            }
+        }
+    }
+
+    /// A second `cross` keeps the existing order outermost: the flat
+    /// index of `((a, b), c)` is `a_idx * (|b| * |c|) + b_idx * |c| + c_idx`.
+    #[test]
+    fn triple_cross_ordering_is_row_major(
+        a in proptest::collection::vec(0u64..1000, 1..5),
+        b in proptest::collection::vec(0u64..1000, 1..5),
+        c in proptest::collection::vec(0u64..1000, 1..5),
+    ) {
+        let grid = Grid::of(Axis::new("a", a.clone()))
+            .cross(Axis::new("b", b.clone()))
+            .cross(Axis::new("c", c.clone()));
+        prop_assert_eq!(grid.len(), a.len() * b.len() * c.len());
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                for (k, &z) in c.iter().enumerate() {
+                    let flat = i * b.len() * c.len() + j * c.len() + k;
+                    prop_assert_eq!(grid.points()[flat], ((x, y), z));
+                }
+            }
+        }
+    }
+
+    /// `Study::run` is jobs-invariant: the serial run (`--jobs 1`) and
+    /// parallel runs at jobs 2 and 8 return bit-identical metric vectors
+    /// for any grid, including float results compared by bit pattern.
+    #[test]
+    fn run_is_bit_identical_at_jobs_1_2_8(
+        a in proptest::collection::vec(0u64..1_000_000, 1..9),
+        b in proptest::collection::vec(1u64..64, 1..5),
+    ) {
+        let model = FittedMaestro::new();
+        let run_at = |jobs: usize| {
+            npu_par::with_jobs(jobs, || {
+                let grid = Grid::of(Axis::new("a", a.clone()))
+                    .cross(Axis::new("b", b.clone()));
+                Study::new("prop", grid, &model)
+                    .run(|&(x, y), _| ((x as f64).sqrt() * y as f64).to_bits())
+                    .into_metrics()
+            })
+        };
+        let serial = run_at(1);
+        prop_assert_eq!(run_at(2), serial.clone());
+        prop_assert_eq!(run_at(8), serial);
+    }
+}

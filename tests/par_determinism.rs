@@ -2,9 +2,11 @@
 //!
 //! `npu_par::par_map` returns input-ordered results and every consumer
 //! folds them exactly as the old serial loops did, so a sweep or DSE run
-//! must be **bit-identical** at any worker count. These tests pin that
-//! guarantee on the real artifacts: the Table I trunk DSE and the
-//! extension sweeps.
+//! must be **bit-identical** at any worker count. Since ISSUE 4 all of
+//! these run through the unified `npu_study::Study` surface, so the
+//! tests double as the end-to-end determinism contract of that crate on
+//! the real artifacts: the Table I trunk DSE, the extension sweeps and
+//! the scenario-aware package DSE.
 
 use npu_dnn::PerceptionConfig;
 use npu_maestro::FittedMaestro;
@@ -78,4 +80,17 @@ fn nop_bandwidth_sweep_is_identical_serial_and_parallel() {
     let serial = npu_par::with_jobs(1, || nop_bandwidth_sweep(&pipeline, &bandwidths, &model));
     let parallel = npu_par::with_jobs(8, || nop_bandwidth_sweep(&pipeline, &bandwidths, &model));
     assert_eq!(serial, parallel);
+}
+
+/// The scenario-aware package DSE — the first pure-`Study` consumer —
+/// must report the same cheapest-feasible package, and byte-identical
+/// verdicts, at any `--jobs` count (ISSUE 4 acceptance).
+#[test]
+fn scenario_dse_selection_is_identical_serial_and_parallel() {
+    let serial = npu_par::with_jobs(1, npu_experiments::scenario_dse::run);
+    let parallel = npu_par::with_jobs(8, npu_experiments::scenario_dse::run);
+    assert_eq!(serial.result().cheapest, parallel.result().cheapest);
+    // The full typed result — every DES interval, target and verdict
+    // float — must match to the bit, not just the headline winner.
+    assert_eq!(serial.result(), parallel.result());
 }
