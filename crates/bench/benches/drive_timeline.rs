@@ -1,0 +1,40 @@
+//! Benchmarks the drive timeline runner: one full timeline (match every
+//! segment, price every re-match, phased DES end to end) and the
+//! drive × package grid at serial vs all-cores worker counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_maestro::{FittedMaestro, ReconfigModel};
+use npu_mcm::McmPackage;
+use npu_scenario::{drive_sweep, simulate_drive, Drive};
+
+fn bench(c: &mut Criterion) {
+    let model = FittedMaestro::new();
+    let reconfig = ReconfigModel::default();
+    let drives = Drive::builtin();
+    let packages = [McmPackage::simba_6x6()];
+
+    let mut g = c.benchmark_group("drive");
+    g.sample_size(10);
+    // One timeline end to end: the unit of work the sweep fans out.
+    g.bench_function("cruise_urban_degraded_6x6", |b| {
+        b.iter(|| simulate_drive(&drives[0], &packages[0], &model, &reconfig))
+    });
+
+    // The built-in grid, serial vs parallel; results are bit-identical
+    // either way (tests/drive_timeline.rs).
+    g.bench_function("sweep_serial_jobs1", |b| {
+        b.iter(|| npu_par::with_jobs(1, || drive_sweep(&drives, &packages, &model, &reconfig)))
+    });
+    g.bench_function("sweep_parallel_all_cores", |b| {
+        b.iter(|| {
+            npu_par::with_jobs(npu_par::available_jobs(), || {
+                drive_sweep(&drives, &packages, &model, &reconfig)
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! repro             # everything
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                   # fig9, fig10, fig11, table1, table2, table3,
-//!                   # ablations, sweeps, scenarios, scenario-dse)
+//!                   # ablations, sweeps, scenarios, scenario-dse, drive)
 //! repro --list      # print the artifact registry (names + aliases)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
@@ -174,10 +174,23 @@ impl Artifact for ScenarioDse {
     }
 }
 
+struct DriveTimelines;
+impl Artifact for DriveTimelines {
+    fn name(&self) -> &'static str {
+        "drive"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["drives", "drive-timelines"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::drive::run())
+    }
+}
+
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases), `--list` and the
 /// error-message listing.
-static ARTIFACTS: [&dyn Artifact; 13] = [
+static ARTIFACTS: [&dyn Artifact; 14] = [
     &Fig3,
     &Fig4,
     &Fig5to8,
@@ -191,6 +204,7 @@ static ARTIFACTS: [&dyn Artifact; 13] = [
     &Sweeps,
     &Scenarios,
     &ScenarioDse,
+    &DriveTimelines,
 ];
 
 fn find(name: &str) -> Option<&'static dyn Artifact> {
@@ -365,6 +379,9 @@ mod tests {
             assert_eq!(find(alias).unwrap().name(), "fig5to8");
         }
         assert_eq!(find("scenario_dse").unwrap().name(), "scenario-dse");
+        for alias in ["drives", "drive-timelines"] {
+            assert_eq!(find(alias).unwrap().name(), "drive");
+        }
     }
 
     #[test]

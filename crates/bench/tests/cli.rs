@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 13, "expected 13 JSON documents:\n{stdout}");
+    assert_eq!(docs, 14, "expected 14 JSON documents:\n{stdout}");
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
     assert!(out.status.success(), "repro --list failed");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 13, "one line per artifact:\n{stdout}");
+    assert_eq!(lines.len(), 14, "one line per artifact:\n{stdout}");
     assert_eq!(lines[0], "fig3");
     assert!(
         lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
@@ -79,6 +79,10 @@ fn list_prints_the_registry_one_artifact_per_line() {
     );
     assert!(
         lines.contains(&"scenario-dse (aliases: scenario_dse)"),
+        "{stdout}"
+    );
+    assert!(
+        lines.contains(&"drive (aliases: drives, drive-timelines)"),
         "{stdout}"
     );
 }
@@ -91,7 +95,7 @@ fn list_json_emits_a_json_array() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
         let entries = value.as_array().expect("a top-level JSON array");
-        assert_eq!(entries.len(), 13);
+        assert_eq!(entries.len(), 14);
         let names: Vec<&str> = entries
             .iter()
             .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())

@@ -90,3 +90,12 @@ fn fig3_json_matches_golden() {
 fn scenario_dse_json_matches_golden() {
     check_golden("scenario-dse");
 }
+
+/// The drive timeline workbench: the new artifact of ISSUE 5. Pinning it
+/// byte-for-byte pins every per-segment steady-state figure, every
+/// re-match latency and every dropped-frame count of the built-in
+/// timelines on both packages.
+#[test]
+fn drive_json_matches_golden() {
+    check_golden("drive");
+}

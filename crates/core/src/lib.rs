@@ -30,7 +30,7 @@
 //! | [`mcm`] | chiplet package presets & heterogeneity |
 //! | [`sched`] | sharding, Algorithm 1, baselines, trunk DSE |
 //! | [`pipesim`] | discrete-event validation simulator |
-//! | [`scenario`] | driving scenarios: rigs, modes, arrival processes |
+//! | [`scenario`] | driving scenarios & drive timelines: rigs, modes, mode switching |
 //! | [`study`] | unified sweep/DSE query surface (axes, grids, objectives) |
 //! | [`experiments`] | every paper table & figure, regenerated |
 //! | [`par`] | scoped-thread parallel sweep executor (`par_map`) |
@@ -50,10 +50,13 @@ pub use npu_tensor as tensor;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use npu_dnn::{Graph, Layer, OpKind, PerceptionConfig, PerceptionPipeline, StageKind};
-    pub use npu_maestro::{Accelerator, CostModel, Dataflow, FittedMaestro};
+    pub use npu_maestro::{Accelerator, CostModel, Dataflow, FittedMaestro, ReconfigModel};
     pub use npu_mcm::{ChipletId, McmPackage};
-    pub use npu_pipesim::{simulate, Arrivals, SimConfig, SimReport};
-    pub use npu_scenario::{scenario_sweep, CameraRig, OperatingMode, Scenario, ScenarioPoint};
+    pub use npu_pipesim::{simulate, simulate_phases, Arrivals, SimConfig, SimReport};
+    pub use npu_scenario::{
+        drive_sweep, scenario_sweep, simulate_drive, CameraRig, Drive, DriveOutcome, DriveSegment,
+        OperatingMode, Scenario, ScenarioPoint,
+    };
     pub use npu_sched::{
         baseline_schedule, evaluate, EvalReport, MatchOutcome, MatcherConfig, Pipelining, Schedule,
         ThroughputMatcher,

@@ -1,0 +1,186 @@
+//! Drive timeline workbench: the built-in mode-switching timelines
+//! simulated end to end on the single- and dual-NPU packages.
+//!
+//! Each (drive, package) cell compiles every segment with Algorithm 1,
+//! prices every boundary re-match (chiplets re-programmed, weights
+//! reloaded, spin-up latency) and runs the whole timeline as one phased
+//! DES pass, counting the frames dropped inside each spin-up window.
+//! This is the online-mode-switching extension of the scenario
+//! workbench: steady-state per-segment behaviour *and* the transition
+//! costs invisible to independent per-scenario runs (ISSUE 5).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_maestro::{FittedMaestro, ReconfigModel};
+use npu_mcm::McmPackage;
+use npu_scenario::{drive_sweep, Drive, DriveOutcome};
+
+use crate::text::{ms, TextTable};
+
+/// The drive × package grid results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveGrid {
+    /// The reconfiguration model pricing every transition.
+    pub reconfig: ReconfigModel,
+    /// One outcome per (drive, package) pair, drive-major.
+    pub outcomes: Vec<DriveOutcome>,
+}
+
+impl DriveGrid {
+    /// Outcomes of one timeline across all packages.
+    pub fn timeline(&self, name: &str) -> Vec<&DriveOutcome> {
+        self.outcomes.iter().filter(|o| o.drive == name).collect()
+    }
+
+    /// Total frames dropped across the whole grid.
+    pub fn total_dropped(&self) -> usize {
+        self.outcomes.iter().map(|o| o.total_dropped).sum()
+    }
+}
+
+/// Runs the built-in drive timelines on the paper's 6×6 single-NPU
+/// package and the 12×6 dual-NPU package.
+pub fn run() -> DriveGrid {
+    let drives = Drive::builtin();
+    let packages = [McmPackage::simba_6x6(), McmPackage::dual_npu_12x6()];
+    let model = FittedMaestro::new();
+    let reconfig = ReconfigModel::default();
+    DriveGrid {
+        reconfig,
+        outcomes: drive_sweep(&drives, &packages, &model, &reconfig),
+    }
+}
+
+impl fmt::Display for DriveGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut seg = TextTable::new(
+            "Drive timelines - per-segment steady state (phased DES)",
+            &[
+                "drive",
+                "package",
+                "segment",
+                "t0[s]",
+                "offered",
+                "dropped",
+                "Pipe[ms]",
+                "Pred[ms]",
+                "DES[ms]",
+                "Lat[ms]",
+                "maxLat[ms]",
+            ],
+        );
+        for o in &self.outcomes {
+            for s in &o.segments {
+                seg.row(vec![
+                    o.drive.clone(),
+                    o.package.clone(),
+                    s.scenario.clone(),
+                    format!("{:.1}", s.start.as_secs()),
+                    s.offered.to_string(),
+                    s.dropped.to_string(),
+                    ms(s.pipe),
+                    ms(s.predicted_interval),
+                    ms(s.des_interval),
+                    ms(s.mean_latency),
+                    ms(s.max_latency),
+                ]);
+            }
+        }
+        seg.note(
+            "phases share one drive clock; the compiled schedule is swapped at \
+             every segment boundary (clean handover: re-programming flushes \
+             chiplet queues, in-flight frames drain under the old mapping)",
+        );
+        seg.fmt(f)?;
+
+        let mut tr = TextTable::new(
+            "Drive timelines - mode-switch re-matching",
+            &[
+                "drive",
+                "package",
+                "switch",
+                "at[s]",
+                "re-match[ms]",
+                "chiplets",
+                "weights[MiB]",
+                "dropped",
+            ],
+        );
+        for o in &self.outcomes {
+            for t in &o.transitions {
+                tr.row(vec![
+                    o.drive.clone(),
+                    o.package.clone(),
+                    format!("{} -> {}", t.from, t.to),
+                    format!("{:.1}", t.at.as_secs()),
+                    ms(t.rematch_latency),
+                    t.reprogrammed.to_string(),
+                    format!("{:.1}", t.weight_bytes.as_f64() / (1024.0 * 1024.0)),
+                    t.dropped.to_string(),
+                ]);
+            }
+        }
+        tr.note(format!(
+            "re-match = {} barrier + {} per re-programmed chiplet + weight reload \
+             at {:.0} GB/s; frames arriving inside the window are dropped",
+            self.reconfig.base,
+            self.reconfig.per_chiplet,
+            self.reconfig.reload_bytes_per_sec / 1e9
+        ));
+        tr.note(
+            "a switch that only changes arrival pacing (same compiled workload) \
+             re-programs nothing and costs nothing",
+        );
+        tr.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    use super::*;
+
+    /// The grid compiles 2 drives x 2 packages x up to 3 segments with
+    /// the matcher; run it once and share across tests.
+    fn grid() -> &'static DriveGrid {
+        static GRID: OnceLock<DriveGrid> = OnceLock::new();
+        GRID.get_or_init(run)
+    }
+
+    #[test]
+    fn grid_covers_every_drive_on_both_packages() {
+        let g = grid();
+        let drives = Drive::builtin();
+        assert_eq!(g.outcomes.len(), drives.len() * 2);
+        for d in &drives {
+            assert_eq!(g.timeline(&d.name).len(), 2, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn the_headline_timeline_pays_for_its_switches() {
+        let g = grid();
+        let headline = &g.timeline("cruise-urban-degraded")[0];
+        assert_eq!(headline.transitions.len(), 2);
+        assert!(
+            headline.transitions.iter().all(|t| t.reprogrammed > 0),
+            "both switches change the workload"
+        );
+        assert!(
+            headline.total_dropped > 0,
+            "mode switching must cost frames on the 6x6"
+        );
+    }
+
+    #[test]
+    fn renders_segments_and_transitions() {
+        let text = grid().to_string();
+        assert!(text.contains("per-segment steady state"));
+        assert!(text.contains("mode-switch re-matching"));
+        assert!(text.contains("highway-cruise"));
+        assert!(text.contains("urban-dense -> degraded-dropout"));
+    }
+}

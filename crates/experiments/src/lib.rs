@@ -20,6 +20,7 @@
 //! | Extension sweeps (scaling, failure injection) | [`ext_sweeps`] |
 //! | Scenario workbench (driving workload envelope) | [`scenarios`] |
 //! | Scenario-aware package DSE (cheapest feasible package) | [`scenario_dse`] |
+//! | Drive timelines (online mode switching, re-match + drops) | [`drive`] |
 //!
 //! # Examples
 //!
@@ -30,6 +31,7 @@
 //! ```
 
 pub mod ablations;
+pub mod drive;
 pub mod ext_sweeps;
 pub mod fig10;
 pub mod fig11;
@@ -53,7 +55,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 13] = [
+    let sections: [fn() -> String; 14] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -67,6 +69,7 @@ pub fn run_all() -> String {
         || ext_sweeps::run().to_string(),
         || scenarios::run().to_string(),
         || scenario_dse::run().to_string(),
+        || drive::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()
 }

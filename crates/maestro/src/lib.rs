@@ -19,6 +19,10 @@
 //! * [`memo`] wraps any model in a sharded, thread-safe memoization
 //!   cache ([`MemoCostModel`]) so the parallel sweep executor computes
 //!   each distinct `(accelerator, layer, dtype)` cost once per sweep.
+//! * [`reconfig`] models mapping-transition spin-up ([`ReconfigModel`]):
+//!   the control-plane and weight-reload latency charged when an online
+//!   mode switch re-programs chiplets (`npu-sched`'s schedule re-matcher
+//!   consumes it).
 //!
 //! # Examples
 //!
@@ -46,6 +50,7 @@ pub mod mapping;
 pub mod memo;
 pub mod pe_array;
 pub mod profile;
+pub mod reconfig;
 pub mod report;
 
 pub use accelerator::{Accelerator, Dataflow};
@@ -55,4 +60,5 @@ pub use mapper::{best_geometry, geometry_sweep, GeometryPoint};
 pub use memo::MemoCostModel;
 pub use pe_array::PeArray;
 pub use profile::DataflowProfile;
+pub use reconfig::ReconfigModel;
 pub use report::{graph_cost, ClassBreakdown, GraphCost};

@@ -1,0 +1,151 @@
+//! Chiplet reconfiguration cost: what it takes to re-program a chiplet
+//! when the active mapping changes mid-drive.
+//!
+//! The paper evaluates one fixed mapping per workload, so mapping
+//! changes are free by construction. An online mode switch (see
+//! `npu-scenario`'s `Drive` timelines) is not: every chiplet whose shard
+//! set changes must have its new weights streamed in through the
+//! package-edge DRAM ports and its NoP routes/descriptor tables
+//! rewritten by the package controller before the new mapping can accept
+//! frames. This module models that spin-up window analytically — a fixed
+//! supervisor overhead, a serialized per-chiplet control-plane cost, and
+//! a weight-reload term limited by the shared DRAM-port bandwidth —
+//! mirroring how "Chiplets on Wheels" frames dynamic reconfiguration as
+//! a first-class cost for vehicle chiplet platforms.
+
+use serde::{Deserialize, Serialize};
+
+use npu_tensor::{Bytes, Seconds};
+
+/// Analytical model of one mapping transition's spin-up latency.
+///
+/// # Examples
+///
+/// ```
+/// use npu_maestro::ReconfigModel;
+/// use npu_tensor::Bytes;
+///
+/// let model = ReconfigModel::default();
+/// // Reloading 64 MiB of weights across 12 chiplets takes a few ms —
+/// // about one 30 FPS frame interval.
+/// let t = model.transition_latency(12, Bytes::from_mib(64));
+/// assert!(t.as_millis() > 1.0 && t.as_millis() < 50.0);
+/// // A no-op transition (nothing re-programmed) is free.
+/// assert!(model.transition_latency(0, Bytes::ZERO).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigModel {
+    /// Fixed supervisor overhead per transition (quiesce the NoP, swap
+    /// route tables, barrier the package) — charged once if anything
+    /// changes at all.
+    pub base: Seconds,
+    /// Control-plane time per re-programmed chiplet (descriptor upload,
+    /// mapping-table rewrite). The controller walks chiplets serially.
+    pub per_chiplet: Seconds,
+    /// Aggregate weight-reload bandwidth into the package in bytes/s:
+    /// the west-edge DRAM ports are shared, so reloads serialize against
+    /// this figure regardless of how many chiplets wait.
+    pub reload_bytes_per_sec: f64,
+}
+
+impl Default for ReconfigModel {
+    /// LPDDR-class package I/O (16 GB/s aggregate reload bandwidth), a
+    /// 500 µs region re-allocation handshake per chiplet and a 1 ms
+    /// supervisor barrier — a package-wide re-match lands around one
+    /// 30 FPS frame interval, a small one well under it.
+    fn default() -> Self {
+        ReconfigModel {
+            base: Seconds::from_millis(1.0),
+            per_chiplet: Seconds::from_micros(500.0),
+            reload_bytes_per_sec: 16e9,
+        }
+    }
+}
+
+impl ReconfigModel {
+    /// A validated model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either overhead is negative/non-finite or the bandwidth
+    /// is not finite and positive.
+    pub fn new(base: Seconds, per_chiplet: Seconds, reload_bytes_per_sec: f64) -> Self {
+        for (what, v) in [("base", base), ("per-chiplet", per_chiplet)] {
+            assert!(
+                v.as_secs().is_finite() && v.as_secs() >= 0.0,
+                "{what} reconfiguration overhead must be finite and non-negative, got {v}"
+            );
+        }
+        assert!(
+            reload_bytes_per_sec.is_finite() && reload_bytes_per_sec > 0.0,
+            "reload bandwidth must be finite and positive, got {reload_bytes_per_sec}"
+        );
+        ReconfigModel {
+            base,
+            per_chiplet,
+            reload_bytes_per_sec,
+        }
+    }
+
+    /// Spin-up latency of a transition re-programming `chiplets` chiplets
+    /// with `weight_bytes` of new weights in total. A transition touching
+    /// nothing costs nothing (the mapping is already live).
+    pub fn transition_latency(&self, chiplets: usize, weight_bytes: Bytes) -> Seconds {
+        if chiplets == 0 {
+            return Seconds::ZERO;
+        }
+        let control = self.base.as_secs() + self.per_chiplet.as_secs() * chiplets as f64;
+        let reload = weight_bytes.as_f64() / self.reload_bytes_per_sec;
+        Seconds::new(control + reload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_monotone_in_both_inputs() {
+        let m = ReconfigModel::default();
+        let small = m.transition_latency(2, Bytes::from_mib(1));
+        let more_chiplets = m.transition_latency(8, Bytes::from_mib(1));
+        let more_bytes = m.transition_latency(2, Bytes::from_mib(32));
+        assert!(more_chiplets > small);
+        assert!(more_bytes > small);
+    }
+
+    #[test]
+    fn empty_transition_is_free() {
+        // Even with pending bytes, zero re-programmed chiplets means the
+        // mapping did not change: nothing to wait for.
+        let m = ReconfigModel::default();
+        assert!(m.transition_latency(0, Bytes::from_mib(512)).is_zero());
+    }
+
+    #[test]
+    fn reload_term_tracks_the_port_bandwidth() {
+        let m = ReconfigModel::new(Seconds::ZERO, Seconds::ZERO, 1e9);
+        let t = m.transition_latency(1, Bytes::new(500_000_000));
+        assert!((t.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reload bandwidth")]
+    fn zero_bandwidth_is_rejected() {
+        let _ = ReconfigModel::new(Seconds::ZERO, Seconds::ZERO, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_overhead_is_rejected() {
+        let _ = ReconfigModel::new(Seconds::new(-1.0), Seconds::ZERO, 1e9);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let m = ReconfigModel::default();
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: ReconfigModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+    }
+}

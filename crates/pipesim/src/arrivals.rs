@@ -72,6 +72,27 @@ pub enum Arrivals {
     /// is shifted by `k` times the trace's estimated cycle (last
     /// timestamp plus the mean recorded gap).
     Trace(Vec<Seconds>),
+    /// A time-varying process: an ordered sequence of segments, each with
+    /// its own (non-piecewise) inner process, frame count and time span.
+    /// Segment `k` starts where segment `k-1`'s span ends, so a drive
+    /// that transitions between operating modes (cruise → urban →
+    /// degraded) compiles into **one** continuous arrival stream. Like
+    /// [`Trace`](Self::Trace), the sequence loops when more frames are
+    /// requested than the segments hold, shifted by the total span.
+    Piecewise(Vec<ArrivalSegment>),
+}
+
+/// One segment of a [`Arrivals::Piecewise`] process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSegment {
+    /// The arrival process within the segment (must not itself be
+    /// piecewise). Its times are relative to the segment start.
+    pub arrivals: Arrivals,
+    /// Frames drawn from the segment's process.
+    pub frames: usize,
+    /// Wall-clock time the segment occupies; the next segment starts this
+    /// much later. Every frame of the segment must arrive within it.
+    pub span: Seconds,
 }
 
 impl Arrivals {
@@ -105,6 +126,20 @@ impl Arrivals {
     pub fn trace(times: Vec<Seconds>) -> Self {
         validate_trace(&times);
         Arrivals::Trace(times)
+    }
+
+    /// Validated piecewise process: segments must be non-empty, each with
+    /// at least one frame, a finite positive span, a valid non-piecewise
+    /// inner process, and every segment's frames arriving within its span
+    /// (so the concatenated stream stays non-decreasing at the seams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the above is violated.
+    pub fn piecewise(segments: Vec<ArrivalSegment>) -> Self {
+        let a = Arrivals::Piecewise(segments);
+        a.validate();
+        a
     }
 
     /// Clamps a jitter fraction into `[0,` [`MAX_JITTER`](Self::MAX_JITTER)`]`
@@ -156,6 +191,38 @@ impl Arrivals {
                 );
             }
             Arrivals::Trace(times) => validate_trace(times),
+            Arrivals::Piecewise(segments) => {
+                assert!(
+                    !segments.is_empty(),
+                    "a piecewise process needs at least one segment"
+                );
+                for (i, seg) in segments.iter().enumerate() {
+                    assert!(
+                        !matches!(seg.arrivals, Arrivals::Piecewise(_)),
+                        "segment {i}: piecewise processes do not nest"
+                    );
+                    assert!(seg.frames >= 1, "segment {i} must carry at least one frame");
+                    let span = seg.span.as_secs();
+                    assert!(
+                        span.is_finite() && span > 0.0,
+                        "segment {i} span must be finite and positive, got {span}"
+                    );
+                    seg.arrivals.validate();
+                    // The seam guarantee: the segment's last frame arrives
+                    // strictly within its span, so offsetting the next
+                    // segment by `span` keeps the stream non-decreasing.
+                    let last = *seg
+                        .arrivals
+                        .times(seg.frames)
+                        .last()
+                        .expect("at least one frame");
+                    assert!(
+                        last < span,
+                        "segment {i}: frame at {last}s falls outside the {span}s span, \
+                         which would interleave with the next segment"
+                    );
+                }
+            }
         }
     }
 
@@ -212,6 +279,36 @@ impl Arrivals {
                     .map(|f| trace[f % trace.len()].as_secs() + (f / trace.len()) as f64 * cycle)
                     .collect()
             }
+            Arrivals::Piecewise(segments) => {
+                // One full pass over the segments: each inner process is
+                // expanded at its own offset; the offsets accumulate the
+                // spans, so the stream is continuous across segments.
+                let mut base = Vec::with_capacity(segments.iter().map(|s| s.frames).sum());
+                let mut offset = 0.0;
+                for seg in segments {
+                    base.extend(seg.arrivals.times(seg.frames).iter().map(|t| offset + t));
+                    offset += seg.span.as_secs();
+                }
+                // Like a trace, the whole timeline loops (shifted by the
+                // total span) when more frames are requested than the
+                // segments hold.
+                let cycle = offset;
+                (0..frames)
+                    .map(|f| base[f % base.len()] + (f / base.len()) as f64 * cycle)
+                    .collect()
+            }
+        }
+    }
+
+    /// Total frames one full pass of the process carries: the segment sum
+    /// for piecewise processes, the trace length for traces, `None` for
+    /// the unbounded synthetic processes. Simulating exactly this many
+    /// frames replays the timeline once without looping.
+    pub fn frames_per_cycle(&self) -> Option<usize> {
+        match self {
+            Arrivals::Piecewise(segments) => Some(segments.iter().map(|s| s.frames).sum()),
+            Arrivals::Trace(trace) => Some(trace.len()),
+            _ => None,
         }
     }
 
@@ -232,6 +329,11 @@ impl Arrivals {
                 Some(Seconds::new(period.as_secs() / (*burst).max(1) as f64))
             }
             Arrivals::Trace(trace) => Some(Seconds::new(trace_cycle(trace) / trace.len() as f64)),
+            Arrivals::Piecewise(segments) => {
+                let span: f64 = segments.iter().map(|s| s.span.as_secs()).sum();
+                let frames: usize = segments.iter().map(|s| s.frames).sum();
+                Some(Seconds::new(span / frames.max(1) as f64))
+            }
         }
     }
 }
@@ -404,6 +506,79 @@ mod tests {
     }
 
     #[test]
+    fn piecewise_concatenates_segments_at_their_offsets() {
+        // 3 frames at 10 FPS over 0.3 s, then 2 frames at 2 FPS over 1 s.
+        let a = Arrivals::piecewise(vec![
+            ArrivalSegment {
+                arrivals: Arrivals::periodic_fps(10.0),
+                frames: 3,
+                span: Seconds::new(0.3),
+            },
+            ArrivalSegment {
+                arrivals: Arrivals::periodic_fps(2.0),
+                frames: 2,
+                span: Seconds::new(1.0),
+            },
+        ]);
+        assert_eq!(a.frames_per_cycle(), Some(5));
+        let t = a.times(5);
+        assert_eq!(t, vec![0.0, 0.1, 0.2, 0.3, 0.8]);
+        // Mean interval = total span / total frames = 1.3 / 5.
+        assert!((a.mean_interval().unwrap().as_secs() - 0.26).abs() < 1e-12);
+        // Requesting more frames loops the timeline, shifted by 1.3 s.
+        let looped = a.times(7);
+        assert!((looped[5] - 1.3).abs() < 1e-12, "{looped:?}");
+        assert!((looped[6] - 1.4).abs() < 1e-12, "{looped:?}");
+        // Requesting fewer truncates.
+        assert_eq!(a.times(2), vec![0.0, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn piecewise_rejects_frames_spilling_past_the_span() {
+        // 5 frames at 10 FPS span 0.4 s > the declared 0.3 s.
+        let _ = Arrivals::piecewise(vec![ArrivalSegment {
+            arrivals: Arrivals::periodic_fps(10.0),
+            frames: 5,
+            span: Seconds::new(0.3),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn piecewise_rejects_nesting() {
+        let inner = Arrivals::piecewise(vec![ArrivalSegment {
+            arrivals: Arrivals::periodic_fps(10.0),
+            frames: 1,
+            span: Seconds::new(0.2),
+        }]);
+        let _ = Arrivals::piecewise(vec![ArrivalSegment {
+            arrivals: inner,
+            frames: 1,
+            span: Seconds::new(0.2),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_piecewise_is_rejected() {
+        let _ = Arrivals::piecewise(Vec::new());
+    }
+
+    /// Directly-constructed piecewise values (or serde round trips) are
+    /// still validated on expansion, like every other variant.
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn invalid_piecewise_is_caught_at_expansion() {
+        let a = Arrivals::Piecewise(vec![ArrivalSegment {
+            arrivals: Arrivals::Saturated,
+            frames: 2,
+            span: Seconds::new(f64::NAN),
+        }]);
+        let _ = a.times(2);
+    }
+
+    #[test]
     fn times_are_non_decreasing_across_variants() {
         let variants = [
             Arrivals::Saturated,
@@ -419,6 +594,22 @@ mod tests {
                 intra: Seconds::new(0.002),
             },
             Arrivals::trace(vec![Seconds::new(0.0), Seconds::new(0.03)]),
+            Arrivals::piecewise(vec![
+                ArrivalSegment {
+                    arrivals: Arrivals::periodic_fps(30.0),
+                    frames: 6,
+                    span: Seconds::new(0.25),
+                },
+                ArrivalSegment {
+                    arrivals: Arrivals::Bursty {
+                        period: Seconds::new(0.2),
+                        burst: 3,
+                        intra: Seconds::new(0.01),
+                    },
+                    frames: 5,
+                    span: Seconds::new(0.5),
+                },
+            ]),
         ];
         for a in variants {
             let t = a.times(32);

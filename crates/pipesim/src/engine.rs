@@ -146,7 +146,119 @@ pub fn simulate(
     cfg: &SimConfig,
 ) -> SimReport {
     let items = flatten_items(schedule, pkg, model, cfg.dtype);
+    let times = cfg.arrivals.times(cfg.frames);
+    let run = run_items(&items, &times);
+    SimReport::from_run(&run.arrivals, &run.completions, &run.busy, cfg.warmup)
+}
+
+/// One phase of a time-varying simulation: a compiled schedule serving
+/// absolute-time frame arrivals from `ready_at` onwards. Frames arriving
+/// while the mapping is still spinning up (`t < ready_at`) are **dropped**
+/// — the re-match window of an online mode switch — and counted in the
+/// phase's [`PhaseReport`] instead of entering the pipeline.
+#[derive(Debug, Clone)]
+pub struct SimPhase<'a> {
+    /// The schedule active during this phase.
+    pub schedule: &'a Schedule,
+    /// Absolute arrival timestamps of the phase's frames (non-decreasing).
+    pub times: Vec<f64>,
+    /// When the phase's mapping is ready to accept frames.
+    pub ready_at: f64,
+    /// Symmetric steady-state trim for the phase's report (see
+    /// [`SimConfig::warmup`]).
+    pub warmup: usize,
+}
+
+/// The measured behaviour of one [`SimPhase`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Steady-state statistics over the frames that were actually served.
+    pub report: SimReport,
+    /// Frames the arrival process offered to the phase.
+    pub offered: usize,
+    /// Frames dropped because they arrived before `ready_at`.
+    pub dropped: usize,
+}
+
+impl PhaseReport {
+    /// Frames that entered the pipeline (`offered - dropped`).
+    pub fn served(&self) -> usize {
+        self.offered - self.dropped
+    }
+}
+
+/// Runs a time-varying simulation: phases share one wall clock, and each
+/// phase's schedule serves its own arrivals. This is the engine hook an
+/// online mode switch compiles to — the schedule (and thus the compiled
+/// `PerceptionConfig`) is swapped at every phase boundary, and frames
+/// arriving before the incoming mapping's `ready_at` are dropped rather
+/// than served.
+///
+/// Phases hand over **cleanly** at boundaries: the outgoing mapping
+/// drains its in-flight frames independently, and the incoming mapping
+/// starts on freshly re-programmed chiplets with empty queues. Queue
+/// carry-over across the switch (a make-before-break handover where the
+/// old mapping's backlog contends with the new one) is deliberately not
+/// modeled — re-programming a chiplet flushes it. Per-phase busy
+/// fractions are therefore relative to each phase's own span.
+///
+/// A single phase with `ready_at` at or before its first arrival is
+/// exactly [`simulate`] — same event order, bit-identical statistics —
+/// which the cross-validation suite pins.
+///
+/// # Panics
+///
+/// Panics if a phase's schedule is empty or its times are not finite and
+/// non-decreasing.
+pub fn simulate_phases(
+    phases: &[SimPhase<'_>],
+    pkg: &McmPackage,
+    model: &dyn CostModel,
+    dtype: Dtype,
+) -> Vec<PhaseReport> {
+    phases
+        .iter()
+        .map(|phase| {
+            assert!(
+                phase.times.windows(2).all(|w| w[0] <= w[1])
+                    && phase.times.iter().all(|t| t.is_finite()),
+                "phase arrivals must be finite and non-decreasing"
+            );
+            let items = flatten_items(phase.schedule, pkg, model, dtype);
+            let served: Vec<f64> = phase
+                .times
+                .iter()
+                .copied()
+                .filter(|&t| t >= phase.ready_at)
+                .collect();
+            let run = run_items(&items, &served);
+            PhaseReport {
+                report: SimReport::from_run(
+                    &run.arrivals,
+                    &run.completions,
+                    &run.busy,
+                    phase.warmup,
+                ),
+                offered: phase.times.len(),
+                dropped: phase.times.len() - served.len(),
+            }
+        })
+        .collect()
+}
+
+/// Raw outcome of one DES pass: absolute per-frame arrival and completion
+/// times plus per-chiplet busy totals.
+struct RawRun {
+    arrivals: Vec<f64>,
+    completions: Vec<f64>,
+    busy: BTreeMap<ChipletId, f64>,
+}
+
+/// The discrete-event core: drives one frame per entry of `times`
+/// (absolute arrival timestamps) through the flattened items.
+fn run_items(items: &[SimItem], times: &[f64]) -> RawRun {
     assert!(!items.is_empty(), "cannot simulate an empty schedule");
+    let frames = times.len();
     let n_items = items.len();
 
     // Reverse dependency lists.
@@ -158,16 +270,16 @@ pub fn simulate(
     }
 
     // Per-frame remaining-dependency counters and completion counts.
-    let mut deps_left: Vec<Vec<usize>> = Vec::with_capacity(cfg.frames);
-    for _ in 0..cfg.frames {
+    let mut deps_left: Vec<Vec<usize>> = Vec::with_capacity(frames);
+    for _ in 0..frames {
         deps_left.push(items.iter().map(|it| it.deps.len()).collect());
     }
-    let mut remaining: Vec<usize> = vec![n_items; cfg.frames];
+    let mut remaining: Vec<usize> = vec![n_items; frames];
 
     // Chiplet state.
     let mut ready: BTreeMap<ChipletId, BinaryHeap<Job>> = BTreeMap::new();
     let mut busy_time: BTreeMap<ChipletId, f64> = BTreeMap::new();
-    for item in &items {
+    for item in items {
         ready.entry(item.chiplet).or_default();
         busy_time.entry(item.chiplet).or_insert(0.0);
     }
@@ -185,12 +297,12 @@ pub fn simulate(
         });
     };
 
-    for (f, t) in cfg.arrivals.times(cfg.frames).into_iter().enumerate() {
+    for (f, &t) in times.iter().enumerate() {
         push(&mut heap, t, Event::FrameArrival(f));
     }
 
-    let mut arrivals: Vec<f64> = vec![0.0; cfg.frames];
-    let mut completions: Vec<f64> = vec![f64::NAN; cfg.frames];
+    let mut arrivals: Vec<f64> = vec![0.0; frames];
+    let mut completions: Vec<f64> = vec![f64::NAN; frames];
     let busy_until: BTreeMap<ChipletId, f64> = BTreeMap::new();
 
     // Chiplet executor state bundled for the dispatch helper.
@@ -234,7 +346,7 @@ pub fn simulate(
     }
 
     let mut exec = Executors {
-        items: &items,
+        items,
         ready,
         busy_until,
         busy_time: &mut busy_time,
@@ -275,7 +387,11 @@ pub fn simulate(
     }
 
     debug_assert!(remaining.iter().all(|&r| r == 0), "all frames completed");
-    SimReport::from_run(&arrivals, &completions, &busy_time, cfg)
+    RawRun {
+        arrivals,
+        completions,
+        busy: busy_time,
+    }
 }
 
 #[cfg(test)]

@@ -4,12 +4,26 @@
 //! as the maximum per-chiplet busy time. This crate executes a schedule as
 //! a discrete-event simulation — frames enter under a configurable
 //! [`Arrivals`] process (saturation, periodic camera, jittered, bursty,
-//! or trace replay), every layer shard is a job on its chiplet's FIFO
-//! queue, dependencies gate job starts — and measures the steady-state
-//! frame interval and latency *empirically*. Agreement between the two is
-//! a strong internal consistency check (see `validate`), and
-//! `npu-scenario` compiles whole driving scenarios down to these arrival
-//! processes.
+//! trace replay, or a piecewise timeline of those), every layer shard is
+//! a job on its chiplet's FIFO queue, dependencies gate job starts — and
+//! measures the steady-state frame interval and latency *empirically*.
+//! Agreement between the two is a strong internal consistency check (see
+//! `validate`), and `npu-scenario` compiles whole driving scenarios down
+//! to these arrival processes.
+//!
+//! Two simulation surfaces are exposed:
+//!
+//! * [`simulate`] — one schedule serving one arrival process (the
+//!   steady-state workbench);
+//! * [`simulate_phases`] — a time-varying run in which each
+//!   [`SimPhase`] swaps in its own compiled schedule at a phase
+//!   boundary, charging a mapping spin-up window during which arriving
+//!   frames are dropped (`npu-scenario`'s `Drive` timelines compile to
+//!   this).
+//!
+//! Recorded camera logs load through [`Arrivals::from_csv_str`] /
+//! [`Arrivals::from_jsonl_str`] (string input only — callers do the
+//! I/O), with malformed logs rejected via [`TraceError`].
 //!
 //! # Examples
 //!
@@ -35,7 +49,9 @@
 pub mod arrivals;
 pub mod engine;
 pub mod report;
+pub mod trace;
 
-pub use arrivals::Arrivals;
-pub use engine::{simulate, SimConfig};
+pub use arrivals::{ArrivalSegment, Arrivals};
+pub use engine::{simulate, simulate_phases, PhaseReport, SimConfig, SimPhase};
 pub use report::SimReport;
+pub use trace::TraceError;

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use npu_mcm::ChipletId;
 use npu_tensor::Seconds;
 
+#[cfg(test)]
 use crate::engine::SimConfig;
 
 /// Measured behaviour of a simulated pipeline.
@@ -30,12 +31,13 @@ pub struct SimReport {
 
 impl SimReport {
     /// Builds the report from raw per-frame arrival/completion times and
-    /// per-chiplet busy totals.
+    /// per-chiplet busy totals, trimming `warmup` frames from each end of
+    /// the run for the steady-state statistics.
     pub(crate) fn from_run(
         arrivals: &[f64],
         completions: &[f64],
         busy_time: &BTreeMap<ChipletId, f64>,
-        cfg: &SimConfig,
+        warmup: usize,
     ) -> SimReport {
         let n = completions.len();
         // A zero-frame run measures nothing; report zeros rather than
@@ -55,7 +57,7 @@ impl SimReport {
         // finish faster than steady state once upstream pressure stops,
         // and would bias the interval low). Clamped so the steady-state
         // window always keeps at least one frame.
-        let trim = cfg.warmup.min(n.saturating_sub(1) / 2);
+        let trim = warmup.min(n.saturating_sub(1) / 2);
         let (lo, hi) = (trim, n - trim);
         let window = &completions[lo..hi];
 
@@ -117,18 +119,14 @@ mod tests {
         let completions = vec![1.0, 2.0, 3.0, 4.0];
         let mut busy = BTreeMap::new();
         busy.insert(ChipletId(0), 4.0);
-        let cfg = SimConfig::saturated(4);
         // warmup = 4/4 = 1, trimmed from each end: window [2.0, 3.0].
-        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        let warmup = SimConfig::saturated(4).warmup;
+        let r = SimReport::from_run(&arrivals, &completions, &busy, warmup);
         assert_eq!(r.measured_frames, 2);
         assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
         assert!((r.busy_fraction(ChipletId(0)).unwrap() - 1.0).abs() < 1e-12);
 
-        let cfg = SimConfig {
-            warmup: 1,
-            ..SimConfig::saturated(4)
-        };
-        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        let r = SimReport::from_run(&arrivals, &completions, &busy, 1);
         assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
         // Latencies come from the same trimmed window: frames 1 and 2.
         assert!((r.mean_latency.as_secs() - 2.5).abs() < 1e-12);
@@ -144,11 +142,7 @@ mod tests {
         let arrivals = vec![0.0; 5];
         let completions = vec![1.0, 2.0, 3.0, 4.0, 9.0];
         let busy = BTreeMap::new();
-        let cfg = SimConfig {
-            warmup: 1,
-            ..SimConfig::saturated(5)
-        };
-        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        let r = SimReport::from_run(&arrivals, &completions, &busy, 1);
         assert_eq!(r.measured_frames, 3);
         assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
         assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12, "9.0 trimmed");
@@ -160,11 +154,7 @@ mod tests {
         let arrivals = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let completions = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let busy = BTreeMap::new();
-        let cfg = SimConfig {
-            warmup: 2,
-            ..SimConfig::saturated(6)
-        };
-        let r = SimReport::from_run(&arrivals, &completions, &busy, &cfg);
+        let r = SimReport::from_run(&arrivals, &completions, &busy, 2);
         // Window = frames 2..4 (completions 3.0, 4.0): two frames.
         assert_eq!(r.measured_frames, 2);
         assert!((r.mean_latency.as_secs() - 3.5).abs() < 1e-12);
@@ -175,7 +165,7 @@ mod tests {
     fn zero_frame_run_reports_zeros() {
         let mut busy = BTreeMap::new();
         busy.insert(ChipletId(3), 0.0);
-        let r = SimReport::from_run(&[], &[], &busy, &SimConfig::saturated(0));
+        let r = SimReport::from_run(&[], &[], &busy, SimConfig::saturated(0).warmup);
         assert_eq!(r.measured_frames, 0);
         assert!(r.steady_interval.is_zero());
         assert_eq!(r.throughput_fps, 0.0);
@@ -187,21 +177,13 @@ mod tests {
         let busy = BTreeMap::new();
         // One frame, huge warmup: the clamp keeps that frame and falls
         // back to its service time for the interval.
-        let cfg = SimConfig {
-            warmup: 4,
-            ..SimConfig::saturated(1)
-        };
-        let r = SimReport::from_run(&[0.5], &[2.0], &busy, &cfg);
+        let r = SimReport::from_run(&[0.5], &[2.0], &busy, 4);
         assert_eq!(r.measured_frames, 1);
         assert!((r.steady_interval.as_secs() - 1.5).abs() < 1e-12);
         assert!((r.mean_latency.as_secs() - 1.5).abs() < 1e-12);
 
         // Three frames, warmup 4: trim clamps to (3-1)/2 = 1 per end.
-        let cfg = SimConfig {
-            warmup: 4,
-            ..SimConfig::saturated(3)
-        };
-        let r = SimReport::from_run(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0], &busy, &cfg);
+        let r = SimReport::from_run(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0], &busy, 4);
         assert_eq!(r.measured_frames, 1);
         // One-frame window: interval falls back to frame 1's latency.
         assert!((r.steady_interval.as_secs() - 2.0).abs() < 1e-12);

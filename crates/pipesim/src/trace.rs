@@ -1,0 +1,317 @@
+//! Loaders for recorded camera-timestamp logs.
+//!
+//! Fleet tooling exports frame-arrival logs in two common shapes: a CSV
+//! column of timestamps and JSON-lines records with a timestamp field.
+//! Both loaders parse from **strings** (callers do the I/O), so the
+//! simulator stays offline-friendly and testable with in-repo fixtures,
+//! and both reject the malformed inputs real logs contain — non-numeric
+//! cells, NaN/infinite times, clock steps backwards — with a typed error
+//! naming the offending line instead of panicking deep in the engine.
+
+use std::fmt;
+
+use npu_tensor::Seconds;
+use serde::Value;
+
+use crate::arrivals::Arrivals;
+
+/// Why a recorded trace could not be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The input held no timestamps at all.
+    Empty,
+    /// A line could not be parsed as a timestamp record (1-based line).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was found there.
+        found: String,
+    },
+    /// A timestamp was NaN, infinite or negative.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A timestamp stepped backwards relative to its predecessor.
+    NonMonotonic {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: f64,
+        /// The preceding timestamp it undercuts.
+        previous: f64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace holds no timestamps"),
+            TraceError::Malformed { line, found } => {
+                write!(f, "line {line}: expected a timestamp, found `{found}`")
+            }
+            TraceError::NonFinite { line, value } => {
+                write!(
+                    f,
+                    "line {line}: timestamp {value} is not finite and non-negative"
+                )
+            }
+            TraceError::NonMonotonic {
+                line,
+                value,
+                previous,
+            } => write!(
+                f,
+                "line {line}: timestamp {value} steps backwards (previous was {previous})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Arrivals {
+    /// Parses a CSV camera-timestamp log into a validated
+    /// [`Arrivals::Trace`]. The first comma-separated field of each line
+    /// is the arrival time in seconds; empty lines and `#` comments are
+    /// skipped, and a single non-numeric header line (e.g.
+    /// `timestamp_s,camera`) is tolerated at the top.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npu_pipesim::Arrivals;
+    ///
+    /// let log = "timestamp_s,camera\n0.0,front\n0.033,front\n0.070,front\n";
+    /// let trace = Arrivals::from_csv_str(log).unwrap();
+    /// assert_eq!(trace.times(2), vec![0.0, 0.033]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] on an empty log, a malformed cell, or a non-finite,
+    /// negative or backwards timestamp.
+    pub fn from_csv_str(text: &str) -> Result<Arrivals, TraceError> {
+        let mut times = Vec::new();
+        let mut header_budget = 1usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let field = line.split(',').next().unwrap_or("").trim();
+            match field.parse::<f64>() {
+                Ok(t) => {
+                    push_checked(&mut times, t, i + 1)?;
+                    header_budget = 0;
+                }
+                // Tolerate exactly one leading header row; any further
+                // non-numeric line is malformed — a log full of, say,
+                // ISO-8601 datetimes must fail loudly, not silently
+                // shrink to its few numeric lines.
+                Err(_) if header_budget > 0 && field.chars().any(|c| c.is_ascii_alphabetic()) => {
+                    header_budget = 0;
+                }
+                Err(_) => {
+                    return Err(TraceError::Malformed {
+                        line: i + 1,
+                        found: field.to_string(),
+                    })
+                }
+            }
+        }
+        finish(times)
+    }
+
+    /// Parses a JSON-lines camera log into a validated
+    /// [`Arrivals::Trace`]. Each non-empty line is either a bare number
+    /// or an object carrying the arrival time (in seconds) under a `t`,
+    /// `timestamp` or `timestamp_s` key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npu_pipesim::Arrivals;
+    ///
+    /// let log = "{\"t\": 0.0}\n{\"t\": 0.05}\n";
+    /// let trace = Arrivals::from_jsonl_str(log).unwrap();
+    /// assert_eq!(trace.times(2), vec![0.0, 0.05]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] on an empty log, an unparsable line or record, or a
+    /// non-finite, negative or backwards timestamp.
+    pub fn from_jsonl_str(text: &str) -> Result<Arrivals, TraceError> {
+        let mut times = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let malformed = || TraceError::Malformed {
+                line: i + 1,
+                found: line.to_string(),
+            };
+            let value: Value = serde_json::from_str(line).map_err(|_| malformed())?;
+            let t = match &value {
+                Value::Object(_) => ["t", "timestamp", "timestamp_s"]
+                    .iter()
+                    .find_map(|k| value.get(k))
+                    .and_then(Value::as_f64),
+                _ => value.as_f64(),
+            }
+            .ok_or_else(malformed)?;
+            push_checked(&mut times, t, i + 1)?;
+        }
+        finish(times)
+    }
+}
+
+/// Appends one parsed timestamp, enforcing finiteness, non-negativity and
+/// monotonicity against the previously accepted value.
+fn push_checked(times: &mut Vec<Seconds>, t: f64, line: usize) -> Result<(), TraceError> {
+    if !t.is_finite() || t < 0.0 {
+        return Err(TraceError::NonFinite { line, value: t });
+    }
+    if let Some(prev) = times.last() {
+        if t < prev.as_secs() {
+            return Err(TraceError::NonMonotonic {
+                line,
+                value: t,
+                previous: prev.as_secs(),
+            });
+        }
+    }
+    times.push(Seconds::new(t));
+    Ok(())
+}
+
+/// Wraps accepted timestamps into a trace, rejecting empty logs.
+fn finish(times: Vec<Seconds>) -> Result<Arrivals, TraceError> {
+    if times.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(Arrivals::trace(times))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_skips_header_comments_and_blank_lines() {
+        let log =
+            "# exported by fleet-tool v3\ntimestamp_s,camera\n\n0.0,front\n0.05,front\n0.1,rear\n";
+        let a = Arrivals::from_csv_str(log).unwrap();
+        assert_eq!(a.times(3), vec![0.0, 0.05, 0.1]);
+    }
+
+    #[test]
+    fn csv_without_header_parses_bare_column() {
+        let a = Arrivals::from_csv_str("0.0\n0.033\n0.066\n").unwrap();
+        assert_eq!(a.times(3), vec![0.0, 0.033, 0.066]);
+    }
+
+    #[test]
+    fn csv_rejects_non_monotonic_with_line_number() {
+        let err = Arrivals::from_csv_str("0.0\n0.2\n0.1\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::NonMonotonic {
+                line: 3,
+                value: 0.1,
+                previous: 0.2
+            }
+        );
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn csv_rejects_non_finite_and_negative() {
+        let err = Arrivals::from_csv_str("0.0\nNaN\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonFinite { line: 2, .. }),
+            "{err}"
+        );
+        let err = Arrivals::from_csv_str("0.0\ninf\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonFinite { line: 2, .. }),
+            "{err}"
+        );
+        let err = Arrivals::from_csv_str("-0.5\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonFinite { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn csv_rejects_garbage_after_data_starts() {
+        let err = Arrivals::from_csv_str("0.0\nwhoops\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Malformed {
+                line: 2,
+                found: "whoops".to_string()
+            }
+        );
+    }
+
+    /// Only one header line is tolerated: a log full of non-numeric
+    /// rows (e.g. ISO-8601 datetimes) must fail loudly instead of
+    /// silently shrinking to its few parseable lines.
+    #[test]
+    fn csv_rejects_a_second_non_numeric_line() {
+        let err =
+            Arrivals::from_csv_str("timestamp_s\n2024-01-01T08:00:00,front\n0.5\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::Malformed { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert_eq!(Arrivals::from_csv_str("").unwrap_err(), TraceError::Empty);
+        assert_eq!(
+            Arrivals::from_csv_str("# only comments\n").unwrap_err(),
+            TraceError::Empty
+        );
+        assert_eq!(
+            Arrivals::from_jsonl_str("\n\n").unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn jsonl_accepts_objects_and_bare_numbers() {
+        let a = Arrivals::from_jsonl_str("{\"t\": 0.0}\n{\"timestamp\": 0.04}\n0.09\n").unwrap();
+        assert_eq!(a.times(3), vec![0.0, 0.04, 0.09]);
+    }
+
+    #[test]
+    fn jsonl_rejects_records_without_a_timestamp() {
+        let err = Arrivals::from_jsonl_str("{\"camera\": \"front\"}\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+        let err = Arrivals::from_jsonl_str("not json\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_backwards_clocks() {
+        let err = Arrivals::from_jsonl_str("{\"t\": 1.0}\n{\"t\": 0.5}\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonMonotonic { line: 2, .. }),
+            "{err}"
+        );
+    }
+}

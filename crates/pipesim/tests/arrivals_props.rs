@@ -1,0 +1,115 @@
+//! Property tests for the [`Arrivals`] contracts (ISSUE 5): looping
+//! trace replay preserves inter-arrival gaps across the loop seam,
+//! piecewise segment boundaries stay monotone, and the jitter clamp
+//! lands in `[0, 1)` for any input.
+
+use proptest::prelude::*;
+
+use npu_pipesim::{ArrivalSegment, Arrivals};
+use npu_tensor::Seconds;
+
+/// Builds a validated trace from sorted non-negative gaps.
+fn trace_from_gaps(start: f64, gaps: &[f64]) -> Arrivals {
+    let mut t = start;
+    let mut times = vec![Seconds::new(t)];
+    for g in gaps {
+        t += g;
+        times.push(Seconds::new(t));
+    }
+    Arrivals::trace(times)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replaying a trace beyond its length loops it: every repetition
+    /// reproduces the recorded inter-arrival gaps exactly, and the gap
+    /// across each loop seam is the same for every seam — no drift, no
+    /// discontinuity, however many times the trace wraps.
+    #[test]
+    fn looping_trace_preserves_gaps_across_the_seam(
+        start in 0.0f64..0.5,
+        gaps in proptest::collection::vec(0.001f64..0.2, 1..9),
+        reps in 2usize..5,
+    ) {
+        let trace = trace_from_gaps(start, &gaps);
+        let len = gaps.len() + 1;
+        let times = trace.times(len * reps);
+        let gap = |i: usize| times[i + 1] - times[i];
+        for rep in 1..reps {
+            // Within-repetition gaps match repetition 0 (floating-point
+            // shift tolerance only).
+            for i in 0..len - 1 {
+                let (g0, gk) = (gap(i), gap(rep * len + i));
+                prop_assert!((g0 - gk).abs() < 1e-9, "rep {rep} gap {i}: {g0} vs {gk}");
+            }
+        }
+        // Every seam gap equals the first seam gap.
+        let seam0 = gap(len - 1);
+        prop_assert!(seam0 >= 0.0, "seam gap must not reorder frames");
+        for rep in 2..reps {
+            let seam = gap(rep * len - 1);
+            prop_assert!((seam - seam0).abs() < 1e-9, "seam {rep}: {seam} vs {seam0}");
+        }
+    }
+
+    /// A piecewise timeline built from valid segments expands to a
+    /// non-decreasing stream: every segment boundary is monotone, each
+    /// segment starts exactly at the cumulative span of its
+    /// predecessors, and looping the whole timeline stays monotone too.
+    #[test]
+    fn piecewise_segment_boundaries_are_monotone(
+        fps in proptest::collection::vec(4.0f64..60.0, 1..5),
+        frames in proptest::collection::vec(1usize..8, 1..5),
+    ) {
+        let n = fps.len().min(frames.len());
+        let segments: Vec<ArrivalSegment> = (0..n)
+            .map(|i| ArrivalSegment {
+                arrivals: Arrivals::periodic_fps(fps[i]),
+                // Span: exactly enough for the frames plus one interval.
+                span: Seconds::new(frames[i] as f64 / fps[i]),
+                frames: frames[i],
+            })
+            .collect();
+        let piecewise = Arrivals::piecewise(segments.clone());
+        let total: usize = segments[..n].iter().map(|s| s.frames).sum();
+        // One full pass plus a wrap into the looped second pass.
+        let times = piecewise.times(total + frames[0]);
+        prop_assert!(times.windows(2).all(|w| w[1] >= w[0]), "{times:?}");
+        // Each segment's first frame lands at its cumulative offset.
+        let mut offset = 0.0;
+        let mut cursor = 0;
+        for seg in &segments[..n] {
+            prop_assert!((times[cursor] - offset).abs() < 1e-9,
+                "segment start {} vs offset {offset}", times[cursor]);
+            cursor += seg.frames;
+            offset += seg.span.as_secs();
+        }
+        // The loop restarts the timeline at the total span.
+        prop_assert!((times[total] - offset).abs() < 1e-9);
+    }
+
+    /// The jitter clamp maps **any** f64 — including NaN, infinities and
+    /// out-of-range values — into `[0, 1)`, and a jittered process built
+    /// from the clamped fraction expands to finite, non-decreasing times.
+    #[test]
+    fn jitter_clamp_stays_in_unit_interval(
+        raw in prop::sample::select(vec![
+            f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.5, -0.0, 0.0,
+            0.25, 0.999, 1.0, 1.5, 1e300,
+        ]),
+        scale in 0.0f64..4.0,
+        seed in 0u64..1_000,
+    ) {
+        let frac = Arrivals::clamp_jitter(raw * scale);
+        prop_assert!((0.0..1.0).contains(&frac), "clamp({raw} * {scale}) = {frac}");
+        let jittered = Arrivals::Jittered {
+            interval: Seconds::new(0.05),
+            frac,
+            seed,
+        };
+        let times = jittered.times(16);
+        prop_assert!(times.iter().all(|t| t.is_finite()));
+        prop_assert!(times.windows(2).all(|w| w[1] >= w[0]), "{times:?}");
+    }
+}

@@ -16,7 +16,12 @@
 //!   exactly the same workload;
 //! * [`scenario_sweep`] — the scenario × package grid runner, fanned out
 //!   on the `npu_core::par` worker pool with deterministic,
-//!   input-ordered results.
+//!   input-ordered results;
+//! * [`Drive`] — an ordered timeline of `(Scenario, duration)` segments
+//!   compiled into **one** continuous phased DES run: every mode switch
+//!   re-matches the package (priced by `npu_sched::rematch`), and frames
+//!   arriving inside the spin-up window are dropped and accounted
+//!   ([`simulate_drive`], [`drive_sweep`]).
 //!
 //! # Examples
 //!
@@ -34,10 +39,14 @@
 //! assert!(points[0].drift < 0.10, "drift {}", points[0].drift);
 //! ```
 
+pub mod drive;
 pub mod rig;
 pub mod scenario;
 pub mod sweep;
 
+pub use drive::{
+    drive_sweep, simulate_drive, Drive, DriveOutcome, DriveSegment, SegmentReport, TransitionReport,
+};
 pub use rig::CameraRig;
 pub use scenario::{OperatingMode, Scenario};
-pub use sweep::{evaluate_point, scenario_sweep, ScenarioPoint, SWEEP_FRAMES};
+pub use sweep::{evaluate_point, match_scenario, scenario_sweep, ScenarioPoint, SWEEP_FRAMES};

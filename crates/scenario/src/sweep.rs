@@ -74,6 +74,27 @@ pub fn scenario_sweep(
         .into_metrics()
 }
 
+/// Matches a scenario's workload onto a package with Algorithm 1 — the
+/// shared compilation step of the scenario sweep and the drive timeline
+/// runner, so a drive segment's schedule is **the** schedule the
+/// standalone sweep would produce for the same (scenario, package) pair.
+///
+/// FE splitting is enabled on every package (as in
+/// `npu_sched::sweep::chiplet_count_sweep`): the matching mode only
+/// splits FE when a stage cannot otherwise reach the base latency, so
+/// single-NPU packages schedule identically with or without it.
+pub fn match_scenario(
+    scenario: &Scenario,
+    pkg: &McmPackage,
+    model: &dyn CostModel,
+) -> npu_sched::MatchOutcome {
+    let cfg = MatcherConfig {
+        allow_fe_split: true,
+        ..MatcherConfig::default()
+    };
+    ThroughputMatcher::new(model, cfg).match_throughput(&scenario.workload(), pkg)
+}
+
 /// Schedules, evaluates and simulates one grid point.
 pub fn evaluate_point(
     scenario: &Scenario,
@@ -81,16 +102,7 @@ pub fn evaluate_point(
     model: &dyn CostModel,
     frames: usize,
 ) -> ScenarioPoint {
-    let pipeline = scenario.workload();
-    // FE splitting is enabled on every package (as in
-    // `npu_sched::sweep::chiplet_count_sweep`): the matching mode only
-    // splits FE when a stage cannot otherwise reach the base latency,
-    // so single-NPU packages schedule identically with or without it.
-    let cfg = MatcherConfig {
-        allow_fe_split: true,
-        ..MatcherConfig::default()
-    };
-    let outcome = ThroughputMatcher::new(model, cfg).match_throughput(&pipeline, pkg);
+    let outcome = match_scenario(scenario, pkg, model);
     let predicted = scenario.predicted_interval(outcome.report.pipe);
     let des = simulate(&outcome.schedule, pkg, model, &scenario.sim_config(frames));
     ScenarioPoint {

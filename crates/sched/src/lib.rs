@@ -18,6 +18,10 @@
 //! * [`dse`] — brute-force trunks design-space exploration with
 //!   heterogeneous OS/WS integration (Table I).
 //! * [`context`] — context-aware lane computing sweep (Fig. 11).
+//! * [`rematch`] — the priced diff between two matched schedules: which
+//!   chiplets an online mode switch re-programs, and the resulting
+//!   mapping spin-up latency (`npu-scenario`'s drive timelines charge it
+//!   at every segment boundary).
 //!
 //! # Examples
 //!
@@ -43,6 +47,7 @@ pub mod eval;
 pub mod gantt;
 pub mod lpt;
 pub mod plan;
+pub mod rematch;
 pub mod shard;
 pub mod sweep;
 pub mod throughput_match;
@@ -51,6 +56,7 @@ pub mod validate;
 pub use baseline::{baseline_schedule, Pipelining};
 pub use eval::{evaluate, flatten_items, EvalReport, SimItem, StageReport};
 pub use plan::{LayerPlan, ModelPlan, Schedule, ShardAssignment, StagePlan};
+pub use rematch::{rematch_cost, RematchOutcome};
 pub use shard::{shard_cap, shard_layer, ShardError};
 pub use throughput_match::{MatchOutcome, MatchStep, MatcherConfig, ThroughputMatcher};
 pub use validate::{validate_schedule, ScheduleError};

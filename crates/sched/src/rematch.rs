@@ -1,0 +1,181 @@
+//! Region re-matching between two schedules: what an online mode switch
+//! costs.
+//!
+//! When a drive transitions between operating modes (cruise → urban →
+//! degraded), the matcher produces a *different* schedule for the new
+//! workload, and the package must migrate from the old mapping to the
+//! new one while frames keep arriving. This module computes the diff
+//! between two schedules at chiplet granularity — which chiplets keep
+//! their program, which must be re-programmed, how many weight bytes the
+//! re-programmed ones reload — and prices the transition with
+//! [`ReconfigModel`]. The resulting latency
+//! is the mapping spin-up window `npu-pipesim`'s phased engine charges,
+//! during which arriving frames are dropped.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_dnn::Layer;
+use npu_maestro::ReconfigModel;
+use npu_mcm::ChipletId;
+use npu_tensor::{Bytes, Dtype, Seconds};
+
+use crate::plan::Schedule;
+
+/// The priced diff between an outgoing and an incoming schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RematchOutcome {
+    /// Chiplets whose program changes (new shard set, or newly enlisted).
+    /// Chiplets that fall idle in the new mapping simply power down and
+    /// cost nothing.
+    pub reprogrammed: Vec<ChipletId>,
+    /// Weight bytes the re-programmed chiplets reload in total.
+    pub weight_bytes: Bytes,
+    /// The transition's spin-up latency under the reconfiguration model.
+    pub latency: Seconds,
+}
+
+impl RematchOutcome {
+    /// Whether the transition changes nothing (identical mappings).
+    pub fn is_noop(&self) -> bool {
+        self.reprogrammed.is_empty()
+    }
+}
+
+/// Prices the transition from `old` to `new`.
+///
+/// A chiplet counts as re-programmed when the ordered list of shards the
+/// schedule assigns to it — identified by stage kind, model instance,
+/// layer and shard slice — differs between the two schedules. Re-matching
+/// a schedule onto itself is a no-op with zero latency, which is what
+/// makes a single-segment drive bit-identical to its standalone scenario
+/// run.
+///
+/// # Examples
+///
+/// ```
+/// use npu_dnn::PerceptionConfig;
+/// use npu_maestro::{FittedMaestro, ReconfigModel};
+/// use npu_mcm::McmPackage;
+/// use npu_sched::rematch::rematch_cost;
+/// use npu_sched::{MatcherConfig, ThroughputMatcher};
+/// use npu_tensor::Dtype;
+///
+/// let pkg = McmPackage::simba_6x6();
+/// let model = FittedMaestro::new();
+/// let matcher = ThroughputMatcher::new(&model, MatcherConfig::default());
+/// let cruise = matcher.match_throughput(&PerceptionConfig::default().build(), &pkg);
+/// let noop = rematch_cost(
+///     &cruise.schedule,
+///     &cruise.schedule,
+///     &ReconfigModel::default(),
+///     Dtype::Fp16,
+/// );
+/// assert!(noop.is_noop() && noop.latency.is_zero());
+/// ```
+pub fn rematch_cost(
+    old: &Schedule,
+    new: &Schedule,
+    model: &ReconfigModel,
+    dtype: Dtype,
+) -> RematchOutcome {
+    let before = chiplet_programs(old);
+    let after = chiplet_programs(new);
+
+    let mut reprogrammed = Vec::new();
+    let mut weight_bytes = Bytes::ZERO;
+    for (chiplet, program) in &after {
+        if before.get(chiplet) == Some(program) {
+            continue;
+        }
+        reprogrammed.push(*chiplet);
+        weight_bytes += program
+            .iter()
+            .map(|(_, layer)| layer.weight_bytes(dtype))
+            .sum::<Bytes>();
+    }
+
+    let latency = model.transition_latency(reprogrammed.len(), weight_bytes);
+    RematchOutcome {
+        reprogrammed,
+        weight_bytes,
+        latency,
+    }
+}
+
+/// The program a schedule loads onto each chiplet: its shards in schedule
+/// order, labelled `stage/model/layer#shard` and paired with the (sliced)
+/// layer so a re-slice of the same layer still reads as a change.
+fn chiplet_programs(s: &Schedule) -> BTreeMap<ChipletId, Vec<(String, Layer)>> {
+    let mut programs: BTreeMap<ChipletId, Vec<(String, Layer)>> = BTreeMap::new();
+    for stage in &s.stages {
+        for mp in &stage.models {
+            for lp in &mp.layers {
+                for (i, shard) in lp.shards.iter().enumerate() {
+                    programs.entry(shard.chiplet).or_default().push((
+                        format!("{}/{}/{}#{i}", stage.kind, mp.name, lp.source.name()),
+                        shard.layer.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_dnn::PerceptionConfig;
+    use npu_maestro::FittedMaestro;
+
+    use crate::throughput_match::{MatcherConfig, ThroughputMatcher};
+
+    fn matched(cameras: u64, detectors: u64) -> Schedule {
+        let cfg = PerceptionConfig {
+            cameras,
+            detectors,
+            ..PerceptionConfig::default()
+        };
+        let pkg = npu_mcm::McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        ThroughputMatcher::new(&model, MatcherConfig::default())
+            .match_throughput(&cfg.build(), &pkg)
+            .schedule
+    }
+
+    #[test]
+    fn identical_schedules_are_a_noop() {
+        let s = matched(8, 3);
+        let out = rematch_cost(&s, &s, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(out.is_noop());
+        assert_eq!(out.weight_bytes, Bytes::ZERO);
+        assert!(out.latency.is_zero());
+    }
+
+    #[test]
+    fn workload_change_reprograms_chiplets_and_costs_time() {
+        let cruise = matched(8, 3);
+        let urban = matched(8, 4);
+        let out = rematch_cost(&cruise, &urban, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(!out.is_noop(), "an extra detector must change the mapping");
+        assert!(out.weight_bytes > Bytes::ZERO);
+        assert!(out.latency > Seconds::ZERO);
+        // The transition back is priced from the cruise program set: also
+        // a real change, not necessarily the same size.
+        let back = rematch_cost(&urban, &cruise, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(!back.is_noop());
+    }
+
+    #[test]
+    fn cost_is_deterministic_and_ordered() {
+        let a = matched(8, 3);
+        let b = matched(5, 3);
+        let x = rematch_cost(&a, &b, &ReconfigModel::default(), Dtype::Fp16);
+        let y = rematch_cost(&a, &b, &ReconfigModel::default(), Dtype::Fp16);
+        assert_eq!(x, y);
+        // BTreeMap iteration: chiplets come back sorted.
+        assert!(x.reprogrammed.windows(2).all(|w| w[0] < w[1]));
+    }
+}
