@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the streaming [`Quantiles`] sketch: the insert
+//! hot path the DES report pays per frame, the query that renders the
+//! four standard percentiles, and the shard merge that rolls per-segment
+//! sketches into whole-drive tails. These bound the overhead tails add
+//! to every `SimReport` as frame counts grow toward fleet-scale runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use npu_pipesim::Quantiles;
+
+/// A deterministic scrambled latency stream in (0, 1]: steady body with
+/// the occasional heavy value, the shape DES frame latencies take.
+fn stream(n: u64) -> impl Iterator<Item = f64> {
+    (0..n).map(|i| ((i.wrapping_mul(2_654_435_761) % 100_000) + 1) as f64 / 100_000.0)
+}
+
+fn bench(c: &mut Criterion) {
+    // Insert throughput at the default capacity: the exact path (every
+    // sample retained) vs a stream that has overflowed into compaction.
+    let mut g = c.benchmark_group("quantiles_insert");
+    g.bench_function("exact_512", |b| {
+        b.iter(|| {
+            let mut q = Quantiles::new();
+            for v in stream(512) {
+                q.insert(v);
+            }
+            black_box(q.count())
+        })
+    });
+    g.bench_function("compacting_16k", |b| {
+        b.iter(|| {
+            let mut q = Quantiles::new();
+            for v in stream(16_384) {
+                q.insert(v);
+            }
+            black_box(q.count())
+        })
+    });
+    g.finish();
+
+    // The query: sort retained samples, walk cumulative weights for all
+    // four standard percentiles (what `LatencyQuantiles::from_stream`
+    // does once per report).
+    let mut loaded = Quantiles::new();
+    for v in stream(16_384) {
+        loaded.insert(v);
+    }
+    c.bench_function("quantiles_query_4_percentiles", |b| {
+        b.iter(|| {
+            for phi in [0.50, 0.95, 0.99, 0.999] {
+                black_box(loaded.quantile(phi));
+            }
+        })
+    });
+
+    // Merging per-shard sketches into a whole-stream rollup.
+    let shards: Vec<Quantiles> = (0..8)
+        .map(|s| {
+            let mut q = Quantiles::new();
+            for v in stream(2_048).skip(s * 7 % 5) {
+                q.insert(v);
+            }
+            q
+        })
+        .collect();
+    c.bench_function("quantiles_merge_8_shards", |b| {
+        b.iter(|| {
+            let mut whole = Quantiles::new();
+            for s in &shards {
+                whole.merge(s);
+            }
+            black_box(whole.quantile(0.99))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

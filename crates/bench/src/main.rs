@@ -5,7 +5,8 @@
 //! repro             # everything
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                   # fig9, fig10, fig11, table1, table2, table3,
-//!                   # ablations, sweeps, scenarios, scenario-dse, drive)
+//!                   # ablations, sweeps, scenarios, scenario-dse, drive,
+//!                   # tails)
 //! repro --list      # print the artifact registry (names + aliases)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
@@ -187,10 +188,23 @@ impl Artifact for DriveTimelines {
     }
 }
 
+struct Tails;
+impl Artifact for Tails {
+    fn name(&self) -> &'static str {
+        "tails"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["tail", "tail-latency"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::tails::run())
+    }
+}
+
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases), `--list` and the
 /// error-message listing.
-static ARTIFACTS: [&dyn Artifact; 14] = [
+static ARTIFACTS: [&dyn Artifact; 15] = [
     &Fig3,
     &Fig4,
     &Fig5to8,
@@ -205,6 +219,7 @@ static ARTIFACTS: [&dyn Artifact; 14] = [
     &Scenarios,
     &ScenarioDse,
     &DriveTimelines,
+    &Tails,
 ];
 
 fn find(name: &str) -> Option<&'static dyn Artifact> {
@@ -381,6 +396,9 @@ mod tests {
         assert_eq!(find("scenario_dse").unwrap().name(), "scenario-dse");
         for alias in ["drives", "drive-timelines"] {
             assert_eq!(find(alias).unwrap().name(), "drive");
+        }
+        for alias in ["tail", "tail-latency"] {
+            assert_eq!(find(alias).unwrap().name(), "tails");
         }
     }
 

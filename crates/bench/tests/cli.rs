@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 14, "expected 14 JSON documents:\n{stdout}");
+    assert_eq!(docs, 15, "expected 15 JSON documents:\n{stdout}");
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
     assert!(out.status.success(), "repro --list failed");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 14, "one line per artifact:\n{stdout}");
+    assert_eq!(lines.len(), 15, "one line per artifact:\n{stdout}");
     assert_eq!(lines[0], "fig3");
     assert!(
         lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
@@ -85,6 +85,10 @@ fn list_prints_the_registry_one_artifact_per_line() {
         lines.contains(&"drive (aliases: drives, drive-timelines)"),
         "{stdout}"
     );
+    assert!(
+        lines.contains(&"tails (aliases: tail, tail-latency)"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -95,12 +99,13 @@ fn list_json_emits_a_json_array() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
         let entries = value.as_array().expect("a top-level JSON array");
-        assert_eq!(entries.len(), 14);
+        assert_eq!(entries.len(), 15);
         let names: Vec<&str> = entries
             .iter()
             .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())
             .collect();
         assert!(names.contains(&"scenario-dse"), "{names:?}");
+        assert!(names.contains(&"tails"), "{names:?}");
         // Aliases ride along as arrays.
         let panel = entries
             .iter()
@@ -161,6 +166,36 @@ fn text_mode_renders_the_artifact() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Fig. 3"), "stdout: {stdout}");
+}
+
+/// `repro tails` reports p50/p95/p99/p99.9 per scenario family and per
+/// drive segment, and names the mean-vs-tail winner shift (ISSUE 6).
+#[test]
+fn tails_artifact_reports_percentiles_and_the_winner_shift() {
+    let out = repro(&["--jobs", "2", "tails"]);
+    assert!(out.status.success(), "repro tails failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Tail-latency DSE"), "stdout: {stdout}");
+    assert!(stdout.contains("Drive-segment tails"), "{stdout}");
+    for col in ["p50", "p95", "p99", "p99.9"] {
+        assert!(stdout.contains(col), "missing {col}: {stdout}");
+    }
+    // The headline shift: mean winner 6x6, p99-SLO winner 8x6.
+    assert!(
+        stdout.contains("cheapest at the mean = os256-6x6"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("= os256-8x6"), "{stdout}");
+
+    // JSON mode carries the typed schema, aliases resolve.
+    let json = repro(&["--json", "tail-latency"]);
+    assert!(json.status.success(), "repro --json tail-latency failed");
+    let stdout = String::from_utf8(json.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    let obj = value.as_object().expect("a top-level JSON object");
+    for key in ["cheapest_tail", "family_winners"] {
+        assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {stdout}");
+    }
 }
 
 #[test]

@@ -99,3 +99,11 @@ fn scenario_dse_json_matches_golden() {
 fn drive_json_matches_golden() {
     check_golden("drive");
 }
+
+/// The tail-latency DSE: the new artifact of ISSUE 6. Pinning it
+/// byte-for-byte pins every streamed percentile, the per-family
+/// mean-vs-tail winners and the envelope-level p99 winner shift.
+#[test]
+fn tails_json_matches_golden() {
+    check_golden("tails");
+}

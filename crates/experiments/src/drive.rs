@@ -68,6 +68,7 @@ impl fmt::Display for DriveGrid {
                 "Pred[ms]",
                 "DES[ms]",
                 "Lat[ms]",
+                "p99[ms]",
                 "maxLat[ms]",
             ],
         );
@@ -84,6 +85,7 @@ impl fmt::Display for DriveGrid {
                     ms(s.predicted_interval),
                     ms(s.des_interval),
                     ms(s.mean_latency),
+                    ms(s.tails.p99),
                     ms(s.max_latency),
                 ]);
             }

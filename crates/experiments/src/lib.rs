@@ -21,6 +21,7 @@
 //! | Scenario workbench (driving workload envelope) | [`scenarios`] |
 //! | Scenario-aware package DSE (cheapest feasible package) | [`scenario_dse`] |
 //! | Drive timelines (online mode switching, re-match + drops) | [`drive`] |
+//! | Tail-latency DSE (p99 SLO vs mean package choice) | [`tails`] |
 //!
 //! # Examples
 //!
@@ -44,6 +45,7 @@ pub mod scenarios;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod tails;
 mod text;
 
 pub use text::TextTable;
@@ -55,7 +57,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 14] = [
+    let sections: [fn() -> String; 15] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -70,6 +72,7 @@ pub fn run_all() -> String {
         || scenarios::run().to_string(),
         || scenario_dse::run().to_string(),
         || drive::run().to_string(),
+        || tails::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()
 }

@@ -78,8 +78,9 @@ pub struct ScenarioDse {
     pub cheapest: Option<String>,
 }
 
-/// Builds a `w × h` package of 256-PE OS chiplets.
-fn package(w: u32, h: u32) -> McmPackage {
+/// Builds a `w × h` package of 256-PE OS chiplets (shared with the
+/// tail-latency DSE, which re-runs the same geometries under a p99 SLO).
+pub(crate) fn package(w: u32, h: u32) -> McmPackage {
     McmPackage::from_fn(format!("os256-{w}x{h}"), Mesh2d::new(w, h), |_| {
         Accelerator::shidiannao_like(256)
     })

@@ -60,7 +60,7 @@ impl fmt::Display for ScenarioGrid {
             ),
             &[
                 "scenario", "package", "cams", "Pipe[ms]", "Pred[ms]", "DES[ms]", "drift[%]",
-                "Lat[ms]", "FPS", "Util[%]",
+                "Lat[ms]", "p99[ms]", "FPS", "Util[%]",
             ],
         );
         for p in &self.points {
@@ -73,6 +73,7 @@ impl fmt::Display for ScenarioGrid {
                 ms(p.des_interval),
                 format!("{:+.2}", p.drift * 100.0),
                 ms(p.mean_latency),
+                ms(p.tails.p99),
                 format!("{:.1}", p.throughput_fps),
                 format!("{:.1}", p.utilization * 100.0),
             ]);

@@ -48,10 +48,12 @@
 
 pub mod arrivals;
 pub mod engine;
+pub mod quantiles;
 pub mod report;
 pub mod trace;
 
 pub use arrivals::{ArrivalSegment, Arrivals};
 pub use engine::{simulate, simulate_phases, PhaseReport, SimConfig, SimPhase};
-pub use report::SimReport;
+pub use quantiles::Quantiles;
+pub use report::{LatencyQuantiles, SimReport};
 pub use trace::TraceError;

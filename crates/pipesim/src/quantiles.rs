@@ -1,0 +1,363 @@
+//! Streaming tail-latency percentiles with fixed memory.
+//!
+//! Datacenter accelerator evaluation is built around p99 latency under a
+//! response-time bound, and safety-critical perception has the same
+//! shape: a package that meets its latency target *on average* can still
+//! drop frames at the p99 under urban-dense bursts. [`Quantiles`] lets
+//! [`SimReport`](crate::SimReport) record p50/p95/p99/p99.9 frame
+//! latency without keeping (or re-scanning) the whole latency stream as
+//! frame counts grow toward whole recorded fleet days:
+//!
+//! * **Exact small-n path** — while `count <= capacity` every sample is
+//!   retained, and [`Quantiles::quantile`] is bit-equal to the
+//!   nearest-rank quantile of the sorted sample slice
+//!   ([`Quantiles::exact_sorted`]).
+//! * **Streaming estimator** — past capacity, full buffers are
+//!   *compacted*: sorted, then every other sample promoted to the next
+//!   level at twice the weight (a deterministic KLL-style sketch with
+//!   alternating parity, so compaction bias cancels instead of
+//!   accumulating). Memory stays `O(capacity · log(n / capacity))` with
+//!   every buffer preallocated at its fixed capacity — the insert hot
+//!   path never allocates once a level exists.
+//! * **Shard merge** — sketches built over shards of a stream
+//!   [`merge`](Quantiles::merge) level-by-level into a sketch whose
+//!   estimates agree with the whole-stream sketch to within the same
+//!   rank tolerance (the property suite pins this).
+//!
+//! Determinism: no randomness anywhere — the same insert sequence
+//! always produces the same sketch, so DES reports stay bit-identical
+//! at any `--jobs` count.
+
+/// A fixed-memory streaming quantile sketch over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use npu_pipesim::Quantiles;
+///
+/// let mut q = Quantiles::new();
+/// for i in 0..100 {
+///     q.insert(f64::from(i));
+/// }
+/// // 100 samples fit the default capacity: quantiles are exact
+/// // nearest-rank order statistics.
+/// assert!(q.is_exact());
+/// assert_eq!(q.quantile(0.5), Some(49.0));
+/// assert_eq!(q.quantile(0.99), Some(98.0));
+/// assert_eq!(q.quantile(1.0), Some(99.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantiles {
+    /// Per-level buffer capacity (even, ≥ 8).
+    capacity: usize,
+    /// Samples inserted so far (across merges too).
+    count: u64,
+    /// `levels[l]` holds samples of weight `2^l`.
+    levels: Vec<Vec<f64>>,
+    /// Per-level compaction parity: alternates which half survives.
+    parity: Vec<bool>,
+}
+
+impl Default for Quantiles {
+    fn default() -> Self {
+        Quantiles::with_capacity(Quantiles::DEFAULT_CAPACITY)
+    }
+}
+
+impl Quantiles {
+    /// Default per-level buffer size: large enough that every run the
+    /// built-in artifacts perform today stays on the exact path, small
+    /// enough that million-frame drives stay cheap.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// A sketch with the default capacity.
+    pub fn new() -> Self {
+        Quantiles::default()
+    }
+
+    /// A sketch retaining up to `capacity` samples per level (rounded up
+    /// to an even number, at least 8). Samples are exact until the first
+    /// compaction, i.e. while `count <= capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(8);
+        let capacity = capacity + (capacity & 1);
+        Quantiles {
+            capacity,
+            count: 0,
+            levels: vec![Vec::with_capacity(capacity)],
+            parity: vec![false],
+        }
+    }
+
+    /// The per-level buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True while every inserted sample is still retained, so
+    /// [`quantile`](Quantiles::quantile) returns exact nearest-rank
+    /// order statistics (guaranteed for `count <= capacity`).
+    pub fn is_exact(&self) -> bool {
+        self.levels.len() == 1
+    }
+
+    /// Samples currently retained across all levels.
+    pub fn stored(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Inserts one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite sample: a NaN latency would poison every
+    /// downstream comparison silently.
+    pub fn insert(&mut self, value: f64) {
+        assert!(value.is_finite(), "quantile samples must be finite");
+        self.count += 1;
+        self.push_at(0, value);
+    }
+
+    /// Folds another sketch into this one: level-by-level, so weights
+    /// are preserved regardless of either sketch's capacity. The merged
+    /// estimate agrees with a whole-stream sketch to within the same
+    /// rank tolerance; it stays *exact* only while the merged count
+    /// still fits one exact buffer.
+    pub fn merge(&mut self, other: &Quantiles) {
+        for (lvl, values) in other.levels.iter().enumerate() {
+            for &v in values {
+                self.push_at(lvl, v);
+            }
+        }
+        self.count += other.count;
+    }
+
+    /// The `phi`-quantile (`0.0 ..= 1.0`) of the stream, or `None` for
+    /// an empty sketch. Uses the nearest-rank convention: the smallest
+    /// retained sample whose cumulative weight reaches
+    /// `max(ceil(phi · count), 1)`. Exact while
+    /// [`is_exact`](Quantiles::is_exact); otherwise within the sketch's
+    /// rank tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not within `[0, 1]`.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&phi),
+            "quantile fraction must be in [0, 1], got {phi}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let mut items: Vec<(f64, u64)> = Vec::with_capacity(self.stored());
+        for (lvl, values) in self.levels.iter().enumerate() {
+            let weight = 1u64 << lvl;
+            items.extend(values.iter().map(|&v| (v, weight)));
+        }
+        items.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        // Same rank expression as `exact_sorted`, so the small-n path is
+        // bit-equal to the sorted-slice computation.
+        let target = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(value, weight) in &items {
+            cumulative += weight;
+            if cumulative >= target {
+                return Some(value);
+            }
+        }
+        items.last().map(|&(value, _)| value)
+    }
+
+    /// The exact nearest-rank `phi`-quantile of an already **sorted**
+    /// slice — the reference the streaming estimate is validated
+    /// against, and the convention the exact path reproduces bit-equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or a `phi` outside `[0, 1]`.
+    pub fn exact_sorted(sorted: &[f64], phi: f64) -> f64 {
+        assert!(!sorted.is_empty(), "cannot take a quantile of nothing");
+        assert!(
+            (0.0..=1.0).contains(&phi),
+            "quantile fraction must be in [0, 1], got {phi}"
+        );
+        let rank = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Pushes a sample at `lvl`, compacting a full buffer first so no
+    /// level ever exceeds its capacity.
+    fn push_at(&mut self, lvl: usize, value: f64) {
+        while self.levels.len() <= lvl {
+            self.levels.push(Vec::with_capacity(self.capacity));
+            self.parity.push(false);
+        }
+        if self.levels[lvl].len() >= self.capacity {
+            self.compact(lvl);
+        }
+        self.levels[lvl].push(value);
+    }
+
+    /// Compacts a full level: sort, promote every other sample to the
+    /// next level (weight doubles, total weight is conserved because the
+    /// capacity is even), alternating the surviving parity per
+    /// compaction so the deterministic choice does not bias one
+    /// direction.
+    fn compact(&mut self, lvl: usize) {
+        let mut level = std::mem::take(&mut self.levels[lvl]);
+        level.sort_unstable_by(f64::total_cmp);
+        let start = usize::from(self.parity[lvl]);
+        self.parity[lvl] = !self.parity[lvl];
+        let mut i = start;
+        while i < level.len() {
+            self.push_at(lvl + 1, level[i]);
+            i += 2;
+        }
+        level.clear();
+        // Hand the (still fully allocated) buffer back: steady-state
+        // insertion never allocates.
+        self.levels[lvl] = level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_unstable_by(f64::total_cmp);
+        v
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let q = Quantiles::new();
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.quantile(0.5), None);
+        assert!(q.is_exact());
+    }
+
+    #[test]
+    fn exact_path_matches_sorted_slice_bit_for_bit() {
+        let mut q = Quantiles::with_capacity(64);
+        let values: Vec<f64> = (0..64).map(|i| ((i * 37) % 64) as f64 * 0.125).collect();
+        for &v in &values {
+            q.insert(v);
+        }
+        assert!(q.is_exact(), "64 samples fit a 64-capacity buffer");
+        let reference = sorted(values);
+        for phi in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = Quantiles::exact_sorted(&reference, phi);
+            assert_eq!(q.quantile(phi).unwrap().to_bits(), exact.to_bits(), "{phi}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_normalized_even() {
+        assert_eq!(Quantiles::with_capacity(0).capacity(), 8);
+        assert_eq!(Quantiles::with_capacity(9).capacity(), 10);
+        assert_eq!(Quantiles::with_capacity(512).capacity(), 512);
+    }
+
+    #[test]
+    fn compaction_keeps_memory_bounded_and_estimates_sane() {
+        let mut q = Quantiles::with_capacity(32);
+        let n = 10_000;
+        for i in 0..n {
+            // A deterministic scrambled uniform stream over [0, 1).
+            q.insert(((i * 2_654_435_761u64) % 100_000) as f64 / 100_000.0);
+        }
+        assert!(!q.is_exact());
+        assert_eq!(q.count(), n);
+        assert!(
+            q.stored() <= 32 * q.levels.len(),
+            "stored {} levels {}",
+            q.stored(),
+            q.levels.len()
+        );
+        // Uniform stream: the phi-quantile is near phi.
+        for phi in [0.5, 0.95, 0.99] {
+            let est = q.quantile(phi).unwrap();
+            assert!((est - phi).abs() < 0.08, "phi {phi}: estimate {est}");
+        }
+    }
+
+    #[test]
+    fn total_weight_is_conserved_across_compactions() {
+        let mut q = Quantiles::with_capacity(16);
+        for i in 0..5_000u64 {
+            q.insert(i as f64);
+        }
+        let weight: u64 = q
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, v)| (1u64 << l) * v.len() as u64)
+            .sum();
+        assert_eq!(weight, q.count());
+    }
+
+    #[test]
+    fn merge_preserves_count_and_ballpark() {
+        let mut whole = Quantiles::with_capacity(32);
+        let mut a = Quantiles::with_capacity(32);
+        let mut b = Quantiles::with_capacity(32);
+        for i in 0..4_000u64 {
+            let v = ((i * 48_271) % 9973) as f64;
+            whole.insert(v);
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for phi in [0.5, 0.95, 0.99] {
+            let (m, w) = (a.quantile(phi).unwrap(), whole.quantile(phi).unwrap());
+            assert!((m - w).abs() < 9973.0 * 0.08, "phi {phi}: {m} vs {w}");
+        }
+    }
+
+    #[test]
+    fn merged_small_sketches_stay_exact() {
+        let mut a = Quantiles::with_capacity(64);
+        let mut b = Quantiles::with_capacity(64);
+        let mut all = Vec::new();
+        for i in 0..20 {
+            a.insert(i as f64);
+            b.insert((100 + i) as f64);
+            all.push(i as f64);
+            all.push((100 + i) as f64);
+        }
+        a.merge(&b);
+        assert!(a.is_exact(), "40 samples fit one 64-capacity buffer");
+        let reference = sorted(all);
+        for phi in [0.1, 0.5, 0.99] {
+            assert_eq!(
+                a.quantile(phi).unwrap(),
+                Quantiles::exact_sorted(&reference, phi)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_samples_are_rejected() {
+        Quantiles::new().insert(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_phi_is_rejected() {
+        let mut q = Quantiles::new();
+        q.insert(1.0);
+        let _ = q.quantile(1.5);
+    }
+}

@@ -7,8 +7,49 @@ use serde::{Deserialize, Serialize};
 use npu_mcm::ChipletId;
 use npu_tensor::Seconds;
 
+use crate::quantiles::Quantiles;
+
 #[cfg(test)]
 use crate::engine::SimConfig;
+
+/// Tail-latency percentiles of the steady-state frame latency stream:
+/// the serving-style summary (p50/p95/p99/p99.9) that a mean/max pair
+/// hides. Computed over the **same trimmed window** as
+/// [`SimReport::mean_latency`] — warmup fill and cool-down drain frames
+/// never leak into the tails.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
+    /// Median frame latency.
+    pub p50: Seconds,
+    /// 95th-percentile frame latency.
+    pub p95: Seconds,
+    /// 99th-percentile frame latency.
+    pub p99: Seconds,
+    /// 99.9th-percentile frame latency (`p999` in JSON).
+    pub p999: Seconds,
+}
+
+impl LatencyQuantiles {
+    /// All-zero tails: the empty-run value.
+    pub const ZERO: LatencyQuantiles = LatencyQuantiles {
+        p50: Seconds::ZERO,
+        p95: Seconds::ZERO,
+        p99: Seconds::ZERO,
+        p999: Seconds::ZERO,
+    };
+
+    /// Reads the four standard percentiles out of a streamed sketch
+    /// (zeros for an empty sketch).
+    pub fn from_stream(q: &Quantiles) -> LatencyQuantiles {
+        let at = |phi: f64| Seconds::new(q.quantile(phi).unwrap_or(0.0));
+        LatencyQuantiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            p999: at(0.999),
+        }
+    }
+}
 
 /// Measured behaviour of a simulated pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,6 +61,9 @@ pub struct SimReport {
     pub mean_latency: Seconds,
     /// Worst per-frame latency observed.
     pub max_latency: Seconds,
+    /// Tail percentiles of the steady-state latency stream (same
+    /// trimmed window as `mean_latency`/`max_latency`).
+    pub tails: LatencyQuantiles,
     /// Sustained throughput in frames/second.
     pub throughput_fps: f64,
     /// Frames measured: the steady-state window left after trimming
@@ -47,6 +91,7 @@ impl SimReport {
                 steady_interval: Seconds::ZERO,
                 mean_latency: Seconds::ZERO,
                 max_latency: Seconds::ZERO,
+                tails: LatencyQuantiles::ZERO,
                 throughput_fps: 0.0,
                 measured_frames: 0,
                 busy: busy_time.keys().map(|&c| (c, 0.0)).collect(),
@@ -69,11 +114,17 @@ impl SimReport {
         };
 
         // Every steady-state statistic uses the same trimmed window as
-        // `measured_frames` — latencies included.
+        // `measured_frames` — latencies AND tail percentiles included,
+        // so warmup fill / cool-down drain frames cannot leak into p99.
         let latencies: Vec<f64> = (lo..hi).map(|i| completions[i] - arrivals[i]).collect();
         let mean_latency =
             Seconds::new(latencies.iter().sum::<f64>() / latencies.len().max(1) as f64);
         let max_latency = Seconds::new(latencies.iter().copied().fold(0.0, f64::max));
+        let mut sketch = Quantiles::new();
+        for &l in &latencies {
+            sketch.insert(l);
+        }
+        let tails = LatencyQuantiles::from_stream(&sketch);
 
         let makespan = completions.iter().copied().fold(0.0, f64::max);
         let busy = busy_time
@@ -85,6 +136,7 @@ impl SimReport {
             steady_interval,
             mean_latency,
             max_latency,
+            tails,
             throughput_fps: if steady_interval.is_zero() {
                 0.0
             } else {
@@ -161,6 +213,74 @@ mod tests {
         assert!((r.max_latency.as_secs() - 4.0).abs() < 1e-12);
     }
 
+    /// Regression (ISSUE 6): tails must accumulate over the **trimmed**
+    /// window. If warmup frames leaked into the percentile stream, the
+    /// huge fill-frame latency below would dominate every upper tail.
+    #[test]
+    fn warmup_frames_do_not_leak_into_tails() {
+        // Frame 0 is a pathological fill frame (latency 50 s); frames
+        // 1..=4 are steady at 1 s; frame 5 is a slow drain (latency 9 s).
+        let arrivals = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let completions = vec![50.0, 2.0, 3.0, 4.0, 5.0, 14.0];
+        let busy = BTreeMap::new();
+        let r = SimReport::from_run(&arrivals, &completions, &busy, 1);
+        assert_eq!(r.measured_frames, 4);
+        // Every percentile of the 4-frame steady window is exactly 1 s:
+        // neither the 50 s fill nor the 9 s drain frame may appear.
+        for (what, v) in [
+            ("p50", r.tails.p50),
+            ("p95", r.tails.p95),
+            ("p99", r.tails.p99),
+            ("p99.9", r.tails.p999),
+        ] {
+            assert!(
+                (v.as_secs() - 1.0).abs() < 1e-12,
+                "{what} polluted by warmup/drain: {v}"
+            );
+        }
+        // And the tails agree with max over the same window.
+        assert_eq!(
+            r.tails.p999.as_secs().to_bits(),
+            r.max_latency.as_secs().to_bits()
+        );
+    }
+
+    /// The steady windows in the artifacts are far below the sketch's
+    /// exact capacity, so the report percentiles are exact nearest-rank
+    /// order statistics of the trimmed latency stream.
+    #[test]
+    fn tails_are_exact_order_statistics_of_the_window() {
+        let n = 40;
+        let arrivals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Latency of frame i is a scrambled value in [1, 40].
+        let completions: Vec<f64> = (0..n)
+            .map(|i| i as f64 + ((i * 17) % n + 1) as f64)
+            .collect();
+        let busy = BTreeMap::new();
+        let warmup = 5;
+        let r = SimReport::from_run(&arrivals, &completions, &busy, warmup);
+        let mut window: Vec<f64> = (warmup..n - warmup)
+            .map(|i| completions[i] - arrivals[i])
+            .collect();
+        window.sort_unstable_by(f64::total_cmp);
+        for (phi, v) in [
+            (0.50, r.tails.p50),
+            (0.95, r.tails.p95),
+            (0.99, r.tails.p99),
+            (0.999, r.tails.p999),
+        ] {
+            assert_eq!(
+                v.as_secs().to_bits(),
+                Quantiles::exact_sorted(&window, phi).to_bits(),
+                "{phi}"
+            );
+        }
+        assert!(r.tails.p50 <= r.tails.p95);
+        assert!(r.tails.p95 <= r.tails.p99);
+        assert!(r.tails.p99 <= r.tails.p999);
+        assert!(r.tails.p999 <= r.max_latency);
+    }
+
     #[test]
     fn zero_frame_run_reports_zeros() {
         let mut busy = BTreeMap::new();
@@ -168,6 +288,7 @@ mod tests {
         let r = SimReport::from_run(&[], &[], &busy, SimConfig::saturated(0).warmup);
         assert_eq!(r.measured_frames, 0);
         assert!(r.steady_interval.is_zero());
+        assert_eq!(r.tails, LatencyQuantiles::ZERO);
         assert_eq!(r.throughput_fps, 0.0);
         assert_eq!(r.busy_fraction(ChipletId(3)), Some(0.0));
     }

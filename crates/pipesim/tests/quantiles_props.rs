@@ -1,0 +1,138 @@
+//! Property tests for the streaming [`Quantiles`] sketch (ISSUE 6):
+//! the estimator stays within a rank tolerance of the exact sorted-slice
+//! quantiles on random latency streams, the small-n path is bit-equal to
+//! the exact computation, and merging per-shard sketches agrees with the
+//! whole-stream sketch within the same tolerance.
+
+use proptest::prelude::*;
+
+use npu_pipesim::Quantiles;
+
+/// Exact nearest-rank quantile of an unsorted sample.
+fn exact(values: &[f64], phi: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    Quantiles::exact_sorted(&sorted, phi)
+}
+
+/// Asserts `estimate` lies between the exact `(phi - eps)` and
+/// `(phi + eps)` quantiles — the natural error model for a rank-error
+/// sketch (value-space error can be arbitrarily large on heavy tails,
+/// rank-space error is what the compaction scheme bounds).
+fn assert_rank_close(values: &[f64], phi: f64, eps: f64, estimate: f64) {
+    let lo = exact(values, (phi - eps).max(0.0));
+    let hi = exact(values, (phi + eps).min(1.0));
+    assert!(
+        lo <= estimate && estimate <= hi,
+        "phi {phi}: estimate {estimate} outside exact rank band [{lo}, {hi}]"
+    );
+}
+
+/// A plausible latency stream: a steady base plus occasional heavy-tail
+/// spikes, the shape DES frame latencies actually take.
+fn latency_stream() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..2.0, 64..2048)
+}
+
+/// Rank tolerance for a capacity-`k` sketch over `n` samples: each
+/// compaction at level `l` perturbs ranks by at most one weight-`2^l`
+/// unit, giving a worst-case rank error well under `2n/k` for the
+/// alternating-parity scheme; the constant floor covers tiny windows
+/// where a single rank step is a large fraction of `n`.
+fn rank_eps(n: usize, capacity: usize) -> f64 {
+    (2.0 / capacity as f64).max(3.0 / n as f64).min(0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming estimates stay within the sketch's rank tolerance of
+    /// the exact sorted-slice quantiles, at every standard percentile,
+    /// on random latency streams that overflow the buffer many times.
+    #[test]
+    fn estimator_tracks_exact_within_rank_tolerance(
+        values in latency_stream(),
+        capacity in prop::sample::select(vec![16usize, 32, 64, 128]),
+    ) {
+        let mut q = Quantiles::with_capacity(capacity);
+        for &v in &values {
+            q.insert(v);
+        }
+        prop_assert_eq!(q.count(), values.len() as u64);
+        let eps = rank_eps(values.len(), q.capacity());
+        for phi in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            assert_rank_close(&values, phi, eps, q.quantile(phi).unwrap());
+        }
+    }
+
+    /// While `n <= capacity` the sketch IS the sample: every quantile is
+    /// bit-equal to the exact nearest-rank order statistic, for any
+    /// stream and any phi.
+    #[test]
+    fn exact_path_is_bit_equal_below_capacity(
+        values in proptest::collection::vec(0.0001f64..10.0, 1..256),
+        phi in prop::sample::select(vec![0.0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0]),
+    ) {
+        let mut q = Quantiles::with_capacity(256);
+        for &v in &values {
+            q.insert(v);
+        }
+        prop_assert!(q.is_exact());
+        let got = q.quantile(phi).unwrap();
+        prop_assert_eq!(
+            got.to_bits(),
+            exact(&values, phi).to_bits(),
+            "phi {}: {} vs exact", phi, got
+        );
+    }
+
+    /// Splitting a stream into shards, sketching each shard and merging
+    /// agrees with sketching the whole stream, within the same rank
+    /// tolerance — the contract that lets per-segment sketches roll up
+    /// into whole-drive tails.
+    #[test]
+    fn merge_of_shards_matches_whole_stream(
+        values in latency_stream(),
+        shards in 2usize..6,
+    ) {
+        let capacity = 64;
+        let mut parts: Vec<Quantiles> =
+            (0..shards).map(|_| Quantiles::with_capacity(capacity)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].insert(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        // Merged shards compact at most one extra round per level, so
+        // allow twice the single-sketch tolerance.
+        let eps = 2.0 * rank_eps(values.len(), capacity);
+        for phi in [0.5, 0.95, 0.99] {
+            assert_rank_close(&values, phi, eps, merged.quantile(phi).unwrap());
+        }
+    }
+
+    /// Quantiles are monotone in phi and bracketed by the stream's
+    /// min/max, exact or not.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(0.001f64..5.0, 8..1024),
+    ) {
+        let mut q = Quantiles::with_capacity(32);
+        for &v in &values {
+            q.insert(v);
+        }
+        let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        let mut prev = min;
+        for phi in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let est = q.quantile(phi).unwrap();
+            prop_assert!(est >= prev, "phi {phi}: {est} < {prev}");
+            prop_assert!((min..=max).contains(&est), "phi {phi}: {est} outside [{min}, {max}]");
+            prev = est;
+        }
+    }
+}

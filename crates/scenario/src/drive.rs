@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 
 use npu_maestro::{CostModel, ReconfigModel};
 use npu_mcm::McmPackage;
-use npu_pipesim::{simulate_phases, ArrivalSegment, Arrivals, SimConfig, SimPhase};
+use npu_pipesim::{
+    simulate_phases, ArrivalSegment, Arrivals, LatencyQuantiles, SimConfig, SimPhase,
+};
 use npu_sched::rematch::rematch_cost;
 use npu_sched::Schedule;
 use npu_study::{Axis, Grid, Study};
@@ -265,6 +267,9 @@ pub struct SegmentReport {
     pub mean_latency: Seconds,
     /// DES worst per-frame latency in steady state.
     pub max_latency: Seconds,
+    /// DES tail percentiles (p50/p95/p99/p99.9) of the segment's
+    /// steady-state latency stream.
+    pub tails: LatencyQuantiles,
 }
 
 /// One mode switch: the priced re-match between two segments' mappings.
@@ -426,6 +431,7 @@ pub fn simulate_drive(
             des_interval: phase.report.steady_interval,
             mean_latency: phase.report.mean_latency,
             max_latency: phase.report.max_latency,
+            tails: phase.report.tails,
         });
         start += seg.duration.as_secs();
     }

@@ -14,9 +14,9 @@ use serde::{Deserialize, Serialize};
 
 use npu_maestro::CostModel;
 use npu_mcm::McmPackage;
-use npu_pipesim::simulate;
+use npu_pipesim::{simulate, LatencyQuantiles};
 use npu_sched::{MatcherConfig, ThroughputMatcher};
-use npu_study::{Axis, Grid, Study};
+use npu_study::{Axis, Grid, Percentile, Study, TailLatency};
 use npu_tensor::{Joules, Seconds};
 
 use crate::scenario::Scenario;
@@ -44,12 +44,29 @@ pub struct ScenarioPoint {
     pub mean_latency: Seconds,
     /// DES worst per-frame latency.
     pub max_latency: Seconds,
+    /// DES tail percentiles (p50/p95/p99/p99.9) of the steady-state
+    /// latency stream.
+    pub tails: LatencyQuantiles,
     /// Sustained throughput under the scenario's arrivals.
     pub throughput_fps: f64,
     /// Analytic energy per frame.
     pub energy: Joules,
     /// Analytic PE utilization over used chiplets.
     pub utilization: f64,
+}
+
+impl TailLatency for ScenarioPoint {
+    /// Exposes the DES tails to `npu_study`'s percentile-targeted
+    /// constraints (`Constraint::tail_at_most`) and objectives.
+    fn tail_latency(&self, p: Percentile) -> f64 {
+        match p {
+            Percentile::P50 => self.tails.p50,
+            Percentile::P95 => self.tails.p95,
+            Percentile::P99 => self.tails.p99,
+            Percentile::P999 => self.tails.p999,
+        }
+        .as_secs()
+    }
 }
 
 /// Frames the DES pushes through each grid point. Long enough that the
@@ -116,6 +133,7 @@ pub fn evaluate_point(
         drift: (des.steady_interval.as_secs() / predicted.as_secs() - 1.0).abs(),
         mean_latency: des.mean_latency,
         max_latency: des.max_latency,
+        tails: des.tails,
         throughput_fps: des.throughput_fps,
         energy: outcome.report.energy(),
         utilization: outcome.report.utilization_used,
@@ -153,6 +171,19 @@ mod tests {
             assert!(p.mean_latency.as_secs() > 0.0, "{}: latency", p.scenario);
             assert!(
                 p.utilization > 0.0 && p.utilization <= 1.0,
+                "{}",
+                p.scenario
+            );
+            // Tails are ordered and bracketed by the window extremes.
+            assert!(p.tails.p50 > Seconds::ZERO, "{}: p50", p.scenario);
+            assert!(p.tails.p50 <= p.tails.p95, "{}", p.scenario);
+            assert!(p.tails.p95 <= p.tails.p99, "{}", p.scenario);
+            assert!(p.tails.p99 <= p.tails.p999, "{}", p.scenario);
+            assert!(p.tails.p999 <= p.max_latency, "{}", p.scenario);
+            // And the TailLatency view is the same numbers in seconds.
+            assert_eq!(
+                p.tail_latency(Percentile::P99).to_bits(),
+                p.tails.p99.as_secs().to_bits(),
                 "{}",
                 p.scenario
             );

@@ -19,7 +19,9 @@
 //!   input-ordered, jobs-invariant results;
 //! * [`Objective`] / [`Constraint`] — pluggable scoring and feasibility
 //!   predicates over the per-point metrics (latency targets, energy,
-//!   EDP, DES-vs-analytic agreement);
+//!   EDP, DES-vs-analytic agreement), including serving-style
+//!   percentile targets ([`Constraint::tail_at_most`],
+//!   [`Objective::minimize_tail`]) over any [`TailLatency`] metrics;
 //! * [`StudyRun`] — the executed grid: iterate, filter by constraints,
 //!   select the first-best point under an objective;
 //! * [`StudyReport`] / [`Render`] — one computed result rendering both
@@ -59,9 +61,11 @@ pub mod grid;
 pub mod objective;
 pub mod report;
 pub mod study;
+pub mod tail;
 
 pub use axis::Axis;
 pub use grid::Grid;
 pub use objective::{Constraint, Objective};
 pub use report::{Render, StudyReport, TextTable};
 pub use study::{Study, StudyRun};
+pub use tail::{Percentile, TailLatency};

@@ -1,0 +1,162 @@
+//! Percentile-targeted objectives and constraints: the serving-style
+//! query surface ("cheapest package with p99 below the SLO under
+//! urban-dense") layered on the same [`Objective`]/[`Constraint`]
+//! machinery every other study uses.
+//!
+//! Any per-point metrics type that can report a tail latency implements
+//! [`TailLatency`]; [`Constraint::tail_at_most`] and
+//! [`Objective::minimize_tail`] then work on it unchanged, so a
+//! mean-targeted study turns into a p99-targeted one by swapping a
+//! single constraint.
+
+use std::fmt;
+
+use crate::{Constraint, Objective};
+
+/// The standard tail percentiles reported by the DES
+/// (`SimReport::tails` in `npu-pipesim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Percentile {
+    /// Median (p50).
+    P50,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile — the classic serving SLO point.
+    P99,
+    /// 99.9th percentile.
+    P999,
+}
+
+impl Percentile {
+    /// All four standard percentiles, ascending.
+    pub const ALL: [Percentile; 4] = [
+        Percentile::P50,
+        Percentile::P95,
+        Percentile::P99,
+        Percentile::P999,
+    ];
+
+    /// The quantile fraction in `[0, 1]`.
+    pub fn phi(self) -> f64 {
+        match self {
+            Percentile::P50 => 0.50,
+            Percentile::P95 => 0.95,
+            Percentile::P99 => 0.99,
+            Percentile::P999 => 0.999,
+        }
+    }
+
+    /// The conventional short label ("p99.9" for [`Percentile::P999`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            Percentile::P50 => "p50",
+            Percentile::P95 => "p95",
+            Percentile::P99 => "p99",
+            Percentile::P999 => "p99.9",
+        }
+    }
+}
+
+impl fmt::Display for Percentile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-point metrics that expose tail frame latency — implemented by
+/// the scenario-layer point types whose DES reports carry
+/// `SimReport::tails`.
+pub trait TailLatency {
+    /// The tail latency at `p`, in seconds.
+    fn tail_latency(&self, p: Percentile) -> f64;
+}
+
+impl<M: TailLatency> Constraint<M> {
+    /// A serving-style SLO: feasible while the tail latency at `p` is
+    /// at most `limit_secs` (inclusive, like
+    /// [`Constraint::at_most`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npu_study::{Constraint, Percentile, TailLatency};
+    ///
+    /// struct Point {
+    ///     p99: f64,
+    /// }
+    /// impl TailLatency for Point {
+    ///     fn tail_latency(&self, p: Percentile) -> f64 {
+    ///         match p {
+    ///             Percentile::P99 => self.p99,
+    ///             _ => unimplemented!(),
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// let slo = Constraint::tail_at_most(Percentile::P99, 0.100);
+    /// assert_eq!(slo.name(), "p99 <= 100.0 ms");
+    /// assert!(slo.holds(&Point { p99: 0.100 }));
+    /// assert!(!slo.holds(&Point { p99: 0.101 }));
+    /// ```
+    pub fn tail_at_most(p: Percentile, limit_secs: f64) -> Self {
+        Constraint::at_most(
+            format!("{p} <= {:.1} ms", limit_secs * 1e3),
+            limit_secs,
+            move |m: &M| m.tail_latency(p),
+        )
+    }
+}
+
+impl<M: TailLatency> Objective<M> {
+    /// An objective preferring the smallest tail latency at `p` — the
+    /// "fastest at the tail" counterpart to a mean-latency objective.
+    pub fn minimize_tail(p: Percentile) -> Self {
+        Objective::minimize(p.label(), move |m: &M| m.tail_latency(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake([f64; 4]);
+
+    impl TailLatency for Fake {
+        fn tail_latency(&self, p: Percentile) -> f64 {
+            match p {
+                Percentile::P50 => self.0[0],
+                Percentile::P95 => self.0[1],
+                Percentile::P99 => self.0[2],
+                Percentile::P999 => self.0[3],
+            }
+        }
+    }
+
+    #[test]
+    fn phi_and_labels_line_up() {
+        assert_eq!(Percentile::ALL.len(), 4);
+        let mut prev = 0.0;
+        for p in Percentile::ALL {
+            assert!(p.phi() > prev, "{p} out of order");
+            prev = p.phi();
+            assert!(p.label().starts_with('p'));
+        }
+        assert_eq!(Percentile::P999.to_string(), "p99.9");
+        assert_eq!(Percentile::P999.phi(), 0.999);
+    }
+
+    #[test]
+    fn tail_constraint_is_inclusive_and_named() {
+        let c = Constraint::tail_at_most(Percentile::P99, 0.4);
+        assert_eq!(c.name(), "p99 <= 400.0 ms");
+        assert!(c.holds(&Fake([0.1, 0.2, 0.4, 0.9])));
+        assert!(!c.holds(&Fake([0.1, 0.2, 0.41, 0.9])));
+    }
+
+    #[test]
+    fn tail_objective_scores_the_requested_percentile() {
+        let o = Objective::minimize_tail(Percentile::P999);
+        assert_eq!(o.name(), "p99.9");
+        assert_eq!(o.score(&Fake([0.1, 0.2, 0.3, 0.7])), 0.7);
+    }
+}

@@ -53,6 +53,12 @@ fn single_segment_drive_matches_standalone_scenario_bit_for_bit() {
                     ),
                     ("mean latency", seg.mean_latency, standalone.mean_latency),
                     ("max latency", seg.max_latency, standalone.max_latency),
+                    // Per-segment percentiles must equal the whole-run
+                    // percentiles on a single-segment drive (ISSUE 6).
+                    ("p50", seg.tails.p50, standalone.tails.p50),
+                    ("p95", seg.tails.p95, standalone.tails.p95),
+                    ("p99", seg.tails.p99, standalone.tails.p99),
+                    ("p99.9", seg.tails.p999, standalone.tails.p999),
                 ] {
                     assert_eq!(
                         drive_v.as_secs().to_bits(),

@@ -94,3 +94,18 @@ fn scenario_dse_selection_is_identical_serial_and_parallel() {
     // float — must match to the bit, not just the headline winner.
     assert_eq!(serial.result(), parallel.result());
 }
+
+/// The tail-latency DSE — streamed percentiles, percentile-constrained
+/// per-family winners, the envelope shift and the per-segment drive
+/// tails — must be bit-identical at `--jobs 1` and `--jobs 8` (ISSUE 6
+/// acceptance).
+#[test]
+fn tails_dse_is_identical_serial_and_parallel() {
+    let serial = npu_par::with_jobs(1, npu_experiments::tails::run);
+    let parallel = npu_par::with_jobs(8, npu_experiments::tails::run);
+    assert_eq!(serial.cheapest_mean, parallel.cheapest_mean);
+    assert_eq!(serial.cheapest_tail, parallel.cheapest_tail);
+    // TailsDse derives PartialEq over every percentile float: each must
+    // match to the bit, not just the headline winners.
+    assert_eq!(serial, parallel);
+}
