@@ -6,7 +6,7 @@
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                   # fig9, fig10, fig11, table1, table2, table3,
 //!                   # ablations, sweeps, scenarios, scenario-dse, drive,
-//!                   # tails)
+//!                   # tails, lint)
 //! repro --list      # print the artifact registry (names + aliases)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
@@ -201,10 +201,23 @@ impl Artifact for Tails {
     }
 }
 
+struct Lint;
+impl Artifact for Lint {
+    fn name(&self) -> &'static str {
+        "lint"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["lints", "check"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::lint::run())
+    }
+}
+
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases), `--list` and the
 /// error-message listing.
-static ARTIFACTS: [&dyn Artifact; 15] = [
+static ARTIFACTS: [&dyn Artifact; 16] = [
     &Fig3,
     &Fig4,
     &Fig5to8,
@@ -220,6 +233,7 @@ static ARTIFACTS: [&dyn Artifact; 15] = [
     &ScenarioDse,
     &DriveTimelines,
     &Tails,
+    &Lint,
 ];
 
 fn find(name: &str) -> Option<&'static dyn Artifact> {
@@ -399,6 +413,9 @@ mod tests {
         }
         for alias in ["tail", "tail-latency"] {
             assert_eq!(find(alias).unwrap().name(), "tails");
+        }
+        for alias in ["lints", "check"] {
+            assert_eq!(find(alias).unwrap().name(), "lint");
         }
     }
 

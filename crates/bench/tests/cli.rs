@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 15, "expected 15 JSON documents:\n{stdout}");
+    assert_eq!(docs, 16, "expected 16 JSON documents:\n{stdout}");
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
     assert!(out.status.success(), "repro --list failed");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 15, "one line per artifact:\n{stdout}");
+    assert_eq!(lines.len(), 16, "one line per artifact:\n{stdout}");
     assert_eq!(lines[0], "fig3");
     assert!(
         lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
@@ -89,6 +89,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
         lines.contains(&"tails (aliases: tail, tail-latency)"),
         "{stdout}"
     );
+    assert!(lines.contains(&"lint (aliases: lints, check)"), "{stdout}");
 }
 
 #[test]
@@ -99,7 +100,7 @@ fn list_json_emits_a_json_array() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
         let entries = value.as_array().expect("a top-level JSON array");
-        assert_eq!(entries.len(), 15);
+        assert_eq!(entries.len(), 16);
         let names: Vec<&str> = entries
             .iter()
             .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())
@@ -194,6 +195,30 @@ fn tails_artifact_reports_percentiles_and_the_winner_shift() {
     let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
     let obj = value.as_object().expect("a top-level JSON object");
     for key in ["cheapest_tail", "family_winners"] {
+        assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {stdout}");
+    }
+}
+
+/// `repro lint` renders the static-analysis report, resolves its
+/// aliases, and exposes the typed schema in JSON mode (ISSUE 7).
+#[test]
+fn lint_artifact_reports_a_clean_workspace() {
+    let out = repro(&["lint"]);
+    assert!(out.status.success(), "repro lint failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Static analysis"), "stdout: {stdout}");
+    assert!(stdout.contains("workspace is lint-clean"), "{stdout}");
+    for code in ["D001", "D002", "D003", "D004", "D005", "D006"] {
+        assert!(stdout.contains(code), "missing {code}: {stdout}");
+    }
+
+    // Aliases resolve; JSON mode carries the typed schema.
+    let json = repro(&["--json", "check"]);
+    assert!(json.status.success(), "repro --json check failed");
+    let stdout = String::from_utf8(json.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    let obj = value.as_object().expect("a top-level JSON object");
+    for key in ["files_scanned", "clean", "rules", "allows"] {
         assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {stdout}");
     }
 }

@@ -107,3 +107,12 @@ fn drive_json_matches_golden() {
 fn tails_json_matches_golden() {
     check_golden("tails");
 }
+
+/// The static-analysis report: the new artifact of ISSUE 7. Pinning it
+/// byte-for-byte pins the rule table, the zero-findings state and the
+/// audited allow inventory — a new hazard or a new suppression shows up
+/// as a golden diff, not just a CI failure.
+#[test]
+fn lint_json_matches_golden() {
+    check_golden("lint");
+}

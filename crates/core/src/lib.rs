@@ -23,7 +23,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`tensor`] | unit newtypes, datatypes, shapes |
+//! | [`tensor`] | unit newtypes, datatypes, shapes, [`float`] total-order helpers |
 //! | [`dnn`] | layer IR, graphs, the perception model zoo |
 //! | [`maestro`] | per-layer dataflow cost models (OS / WS) |
 //! | [`noc`] | Network-on-Package mesh & transfer costs |
@@ -46,6 +46,7 @@ pub use npu_scenario as scenario;
 pub use npu_sched as sched;
 pub use npu_study as study;
 pub use npu_tensor as tensor;
+pub use npu_tensor::float;
 
 /// Commonly used items in one import.
 pub mod prelude {

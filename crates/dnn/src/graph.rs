@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use npu_tensor::{Bytes, Dtype, MacCount};
+use npu_tensor::{float, Bytes, Dtype, MacCount};
 
 use crate::layer::Layer;
 
@@ -242,11 +242,8 @@ impl Graph {
             best[i] = pred_best + w;
             from[i] = pred_id;
         }
-        let (end, _) = best
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights must not be NaN"))
-            .expect("non-empty");
+        let (end, _) =
+            float::total_max_by_key(best.iter().enumerate(), |&(_, &w)| w).expect("non-empty");
         let mut path = Vec::new();
         let mut cur = Some(LayerId(end as u32));
         while let Some(id) = cur {

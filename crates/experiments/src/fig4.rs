@@ -120,6 +120,8 @@ impl fmt::Display for Fig4 {
 
 #[cfg(test)]
 mod tests {
+    use npu_tensor::float;
+
     use super::*;
 
     #[test]
@@ -172,7 +174,7 @@ mod tests {
             .iter()
             .map(|row| row.d_latency_ms.abs())
             .collect();
-        fusion.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        float::total_sort_desc_by_key(&mut fusion, |&d| d);
         let total: f64 = fusion.iter().sum();
         let top2: f64 = fusion.iter().take(2).sum();
         assert!(top2 / total > 0.5, "top2 {:.2} of {:.2}", top2, total);

@@ -22,6 +22,7 @@
 //! | Scenario-aware package DSE (cheapest feasible package) | [`scenario_dse`] |
 //! | Drive timelines (online mode switching, re-match + drops) | [`drive`] |
 //! | Tail-latency DSE (p99 SLO vs mean package choice) | [`tails`] |
+//! | Static analysis (determinism & panic-safety lint report) | [`lint`] |
 //!
 //! # Examples
 //!
@@ -40,6 +41,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5to8;
 pub mod fig9;
+pub mod lint;
 pub mod scenario_dse;
 pub mod scenarios;
 pub mod table1;
@@ -57,7 +59,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 15] = [
+    let sections: [fn() -> String; 16] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -73,6 +75,7 @@ pub fn run_all() -> String {
         || scenario_dse::run().to_string(),
         || drive::run().to_string(),
         || tails::run().to_string(),
+        || lint::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()
 }

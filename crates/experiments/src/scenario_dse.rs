@@ -18,7 +18,7 @@ use npu_mcm::McmPackage;
 use npu_noc::Mesh2d;
 use npu_scenario::{evaluate_point, Scenario, ScenarioPoint, SWEEP_FRAMES};
 use npu_study::{Axis, Constraint, Grid, Study, StudyReport};
-use npu_tensor::{Joules, Seconds};
+use npu_tensor::{float, Joules, Seconds};
 
 use crate::text::{ms, TextTable};
 
@@ -129,14 +129,10 @@ pub fn run() -> StudyReport<ScenarioDse> {
         .chunks(families.len())
         .zip(run.metrics().chunks(families.len()))
         .map(|(block, metrics)| {
-            let worst = block
-                .iter()
-                .max_by(|a, b| {
-                    let ra = a.des_interval.as_secs() / a.target.as_secs();
-                    let rb = b.des_interval.as_secs() / b.target.as_secs();
-                    ra.partial_cmp(&rb).expect("no NaN ratios")
-                })
-                .expect("at least one family per package");
+            let worst = float::total_max_by_key(block.iter(), |p| {
+                p.des_interval.as_secs() / p.target.as_secs()
+            })
+            .expect("at least one family per package");
             let energy: f64 = metrics.iter().map(|(p, _)| p.energy.as_joules()).sum();
             PackageVerdict {
                 package: block[0].package.clone(),

@@ -1,0 +1,417 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The rule engine only needs identifiers and punctuation with accurate
+//! line/column spans; comments, string/char/byte literals and doc text
+//! are consumed and **discarded** so rule patterns can never fire on
+//! prose or on the linter's own pattern tables. The one piece of
+//! comment content that survives is the `npu-lint` allow directive,
+//! which is parsed into [`Allow`] records as the lexer walks.
+//!
+//! This is deliberately not a full Rust lexer: it understands exactly
+//! enough (nested block comments, raw/byte strings, char-vs-lifetime
+//! disambiguation, numeric literals) to stream real workspace sources
+//! without mis-tokenizing, and nothing more.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `use`, `fn`, ...).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A literal (numeric, string, char, byte). Text is kept only for
+    /// numbers; string-ish literal content is dropped.
+    Literal,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this exactly the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Is this exactly the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A parsed `// npu-lint: allow(<RULE>) <reason>` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule code inside the parentheses (e.g. `D001`).
+    pub rule: String,
+    /// Justification text after the closing parenthesis (trimmed; may
+    /// be empty, which the engine reports as an unjustified allow).
+    pub reason: String,
+}
+
+/// A fully lexed source file: the token stream plus allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// The directive prefix an allow comment must start with.
+const ALLOW_PREFIX: &str = "npu-lint:";
+
+/// Parses the body of a `//` comment into an [`Allow`], if it is one.
+///
+/// Grammar (whitespace-tolerant):
+///
+/// ```text
+/// allow-comment := "npu-lint:" "allow" "(" RULE ")" REASON
+/// RULE          := one rule code, e.g. D001
+/// REASON        := free text to end of line (the justification)
+/// ```
+fn parse_allow(body: &str, line: u32) -> Option<Allow> {
+    let rest = body.trim_start().strip_prefix(ALLOW_PREFIX)?;
+    let rest = rest.trim_start().strip_prefix("allow")?;
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    Some(Allow { line, rule, reason })
+}
+
+/// Lexes one source file.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advances one char, tracking line/column.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comments (incl. doc comments): scan for allow directives,
+        // discard everything else.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let body: String = chars[start + 2..i].iter().collect();
+            let body = body.trim_start_matches(['/', '!']); // doc markers
+            if let Some(allow) = parse_allow(body, tline) {
+                out.allows.push(allow);
+            }
+            continue;
+        }
+
+        // Block comments, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Identifiers / keywords — with raw/byte string-prefix lookahead
+        // (`r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            let stringish = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                && matches!(next, Some('"') | Some('#'));
+            if stringish {
+                // Raw string: count hashes, then scan to `"` + same hashes.
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    bump!();
+                }
+                if chars.get(i) == Some(&'"') {
+                    bump!(); // opening quote
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, emit as ident.
+            }
+            if text == "b" && next == Some('\'') {
+                // Byte char literal: let the `'` branch below eat it.
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // String literals with escapes.
+        if c == '"' {
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // `'`: char literal or lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if n.is_alphanumeric() || n == '_' => {
+                    // 'a' is a char, 'a + ident-run without closing quote
+                    // is a lifetime ('static, 'p, ...).
+                    let mut k = i + 1;
+                    while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        k += 1;
+                    }
+                    chars.get(k) == Some(&'\'')
+                }
+                Some(_) => true, // '(' etc: a punctuation char literal
+                None => false,
+            };
+            if is_char {
+                bump!(); // opening quote
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                // Lifetime: emit the `'` as punctuation, the name lexes
+                // as a following ident.
+                bump!();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "'".to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literals (value is irrelevant; keep text for debugging).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            // A fractional part only if `.` is followed by a digit —
+            // keeps `0..10` lexing as `0`, `.`, `.`, `10`.
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        bump!();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|t| *t == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"static".to_string()));
+        // The whole fn still lexes: nothing was swallowed as a char.
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_swallowed() {
+        let src = "let q = '\\''; let n = '\\n'; let x = 'z'; after";
+        let ids = idents(src);
+        assert!(!ids.contains(&"z".to_string()), "{ids:?}");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = lex("for i in 0..10 {}").tokens;
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn allow_directives_parse_with_rule_and_reason() {
+        let lexed = lex("let x = 1; // npu-lint: allow(D001) max/len only\n");
+        assert_eq!(
+            lexed.allows,
+            vec![Allow {
+                line: 1,
+                rule: "D001".to_string(),
+                reason: "max/len only".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_parses_with_empty_reason() {
+        let lexed = lex("// npu-lint: allow(D003)\nfoo();");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_allows() {
+        let lexed = lex("// just a note about allow(D001)\n");
+        assert!(lexed.allows.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! `npu-lint` — workspace determinism & panic-safety static analysis.
+//!
+//! The workspace's core contract (serial==parallel bit-identity,
+//! golden-pinned artifacts, mergeable sketches) is enforced dynamically
+//! by the test suite — but a dynamic test only sees a hazard when it
+//! fires. This crate makes the invariants *machine-checked at the
+//! source level*: a dependency-free token lexer ([`lexer`]) feeds a
+//! rule engine ([`rules`]) that walks every workspace crate's `src/`
+//! tree and rejects the constructs that historically break determinism
+//! or panic on NaN:
+//!
+//! | Code | Name | Rejects |
+//! |---|---|---|
+//! | D001 | hash-iteration-order | `HashMap`/`HashSet` in result-affecting code |
+//! | D002 | nan-partial-ord | `partial_cmp(..).unwrap()/expect(..)` comparators |
+//! | D003 | wall-clock | `Instant::now`/`SystemTime::now` outside `crates/bench` |
+//! | D004 | ambient-rng | `thread_rng`/`rand::random` |
+//! | D005 | env-access | `std::env::var` outside CLI/bless entrypoints |
+//! | D006 | unordered-reduction | shared-state mutation inside `par_map` closures |
+//!
+//! Intentional exceptions carry an inline justification:
+//!
+//! ```text
+//! // npu-lint: allow(D001) max/len aggregates only; iteration order unobservable
+//! links: HashMap<(NodeId, NodeId), Bytes>,
+//! ```
+//!
+//! The directive suppresses matching findings on its own line or the
+//! line directly below. Allow hygiene is itself linted: an allow with
+//! no written reason is **X001 unjustified-allow**, an allow that
+//! suppresses nothing is **X002 stale-allow** — so stale or lazy
+//! suppressions fail CI exactly like real findings.
+//!
+//! Scope: `crates/*/src/**/*.rs`. Test code (`#[cfg(test)]` items and
+//! `tests/` trees), benches and examples are exempt by construction —
+//! they may legitimately read clocks or build throwaway hash maps; the
+//! determinism contract covers what ships.
+//!
+//! Three frontends share this engine: the `npu-lint` binary (CI gate),
+//! the `repro lint` artifact (golden-pinned report), and the
+//! workspace-is-clean meta-test in `tests/workspace_clean.rs`.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Token};
+pub use rules::{rule_info, Finding, RuleInfo, RULES};
+
+/// One accepted (justified and load-bearing) allow directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule code being allowed.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Files scanned (workspace-relative, sorted).
+    pub files: Vec<String>,
+    /// Surviving findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Valid allow directives that suppressed at least one finding.
+    pub allows: Vec<AllowRecord>,
+}
+
+impl Report {
+    /// True when the file set is lint-clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "npu-lint: {} files scanned, {} findings, {} justified allows\n",
+            self.files.len(),
+            self.findings.len(),
+            self.allows.len(),
+        ));
+        if !self.findings.is_empty() {
+            out.push('\n');
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "{}:{}:{} {} [{}] {}\n    fix: {}\n",
+                    f.file, f.line, f.col, f.rule, f.name, f.message, f.hint
+                ));
+            }
+        }
+        if !self.allows.is_empty() {
+            out.push('\n');
+            for a in &self.allows {
+                out.push_str(&format!(
+                    "allow {}:{} {} — {}\n",
+                    a.file, a.line, a.rule, a.reason
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (hand-rolled: the linter is
+    /// dependency-free by design).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!(
+                "{sep}    {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"col\": {}, \"message\": \"{}\", \"hint\": \"{}\"}}",
+                f.rule,
+                f.name,
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                json_escape(f.hint),
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!(
+                "{sep}    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"reason\": \"{}\"}}",
+                a.rule,
+                json_escape(&a.file),
+                a.line,
+                json_escape(&a.reason),
+            ));
+        }
+        out.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Marks tokens the rules must not see: `use` statements (imports are
+/// not uses of a hash container) and `#[cfg(test)]` items (test-only
+/// code is exempt from the determinism contract).
+fn skip_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; tokens.len()];
+
+    // `use ... ;`
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            while i < tokens.len() && !tokens[i].is_punct(';') {
+                skip[i] = true;
+                i += 1;
+            }
+            if i < tokens.len() {
+                skip[i] = true;
+            }
+        }
+        i += 1;
+    }
+
+    // `#[cfg(test)]` + following attributes + the annotated item.
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Any further attributes on the same item.
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // The item body: to the matching `}` of its first brace, or to a
+        // top-level `;` for braceless items (`use`, `type`, ...).
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[j].is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        for s in skip.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+            *s = true;
+        }
+        i = j + 1;
+    }
+
+    skip
+}
+
+/// Per-file rule exemptions: the `repro` CLI / bless harness may read
+/// clocks and the environment.
+fn rule_applies(rule: &str, rel_path: &str) -> bool {
+    match rule {
+        "D003" | "D005" => !rel_path.starts_with("crates/bench/"),
+        _ => true,
+    }
+}
+
+/// Lints one source file. Returns the surviving findings and the allow
+/// directives that earned their keep.
+pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<AllowRecord>) {
+    let lexed = lex(source);
+    let skip = skip_mask(&lexed.tokens);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    type Rule = fn(&[Token], &str, &[bool]) -> Vec<Finding>;
+    let passes: [(&str, Rule); 6] = [
+        ("D001", rules::d001),
+        ("D002", rules::d002),
+        ("D003", rules::d003),
+        ("D004", rules::d004),
+        ("D005", rules::d005),
+        ("D006", rules::d006),
+    ];
+    for (code, pass) in passes {
+        if rule_applies(code, rel_path) {
+            raw.extend(pass(&lexed.tokens, rel_path, &skip));
+        }
+    }
+
+    // Apply allow directives: a *valid* allow (known rule, non-empty
+    // reason) suppresses matching findings on its own line or the line
+    // directly below.
+    let mut used = vec![false; lexed.allows.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for (k, a) in lexed.allows.iter().enumerate() {
+            let valid = rule_info(&a.rule).is_some() && !a.reason.is_empty();
+            if valid && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                used[k] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Allow hygiene: unjustified (X001) and stale (X002) directives are
+    // findings themselves.
+    let mut allows: Vec<AllowRecord> = Vec::new();
+    for (k, a) in lexed.allows.iter().enumerate() {
+        let info = rule_info(&a.rule);
+        if info.is_none() || a.reason.is_empty() {
+            let x = rule_info("X001").expect("X001 in table");
+            findings.push(Finding {
+                rule: x.code,
+                name: x.name,
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                message: if info.is_none() {
+                    format!("allow names unknown rule `{}`", a.rule)
+                } else {
+                    format!("allow({}) has no written justification", a.rule)
+                },
+                hint: x.hint,
+            });
+        } else if !used[k] {
+            let x = rule_info("X002").expect("X002 in table");
+            findings.push(Finding {
+                rule: x.code,
+                name: x.name,
+                file: rel_path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!("allow({}) suppresses no finding", a.rule),
+                hint: x.hint,
+            });
+        } else {
+            allows.push(AllowRecord {
+                file: rel_path.to_string(),
+                line: a.line,
+                rule: a.rule.clone(),
+                reason: a.reason.clone(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (findings, allows)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, resolved from this crate's location at compile
+/// time (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Lints every workspace crate's `src/` tree under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    crate_dirs.sort();
+
+    let mut report = Report::default();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&src, &mut files)?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .expect("paths live under the root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path)?;
+            let (findings, allows) = lint_source(&rel, &source);
+            report.findings.extend(findings);
+            report.allows.extend(allows);
+            report.files.push(rel);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let m: HashMap<u32, u32> = HashMap::new(); }\n}\n";
+        let (findings, _) = lint_source("x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn use_statements_are_skipped_but_bodies_are_not() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }\n";
+        let (findings, _) = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "D001");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn bench_crate_may_read_clock_and_env() {
+        let src = "fn f() { let t = Instant::now(); let v = std::env::var(k); }\n";
+        let (findings, _) = lint_source("crates/bench/src/main.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        let (findings, _) = lint_source("crates/sched/src/lib.rs", src);
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn valid_allow_suppresses_and_is_recorded() {
+        let src = "struct T {\n    // npu-lint: allow(D001) max/len aggregates only\n    links: HashMap<u32, u64>,\n}\n";
+        let (findings, allows) = lint_source("x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "D001");
+        assert_eq!(allows[0].reason, "max/len aggregates only");
+    }
+
+    #[test]
+    fn unjustified_allow_is_a_finding_and_does_not_suppress() {
+        let src = "// npu-lint: allow(D001)\nstruct T { links: HashMap<u32, u64> }\n";
+        let (findings, allows) = lint_source("x.rs", src);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"D001"), "{findings:?}");
+        assert!(rules.contains(&"X001"), "{findings:?}");
+        assert!(allows.is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_a_finding() {
+        let src = "// npu-lint: allow(D004) no rng here at all\nfn f() {}\n";
+        let (findings, _) = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "X002");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let (findings, allows) = lint_source("x.rs", "fn f() { let m = HashMap::new(); }\n");
+        let report = Report {
+            files: vec!["x.rs".to_string()],
+            findings,
+            allows,
+        };
+        let json = report.json();
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"rule\": \"D001\""));
+    }
+}

@@ -1,0 +1,30 @@
+//! CI gate: lint the workspace, print the report, exit non-zero on any
+//! finding.
+//!
+//! ```text
+//! cargo run -p npu-lint            # text report
+//! cargo run -p npu-lint -- --json  # machine-readable report
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let report = match npu_lint::lint_workspace(&npu_lint::workspace_root()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("npu-lint: cannot walk the workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,355 @@
+//! The determinism & panic-safety rules (D001–D006).
+//!
+//! Each rule is a pure function over the token stream of one file,
+//! yielding [`Finding`]s with the rule code, an accurate span and a
+//! fix-hint. Findings inside `#[cfg(test)]` items and `use` statements
+//! are filtered by the caller ([`crate::lint_source`]); per-crate
+//! exemptions (the `crates/bench` CLI may read clocks and env) are
+//! applied there too, so the rule bodies stay context-free.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule code (`D001`...`D006`, or `X001`/`X002` for allow hygiene).
+    pub rule: &'static str,
+    /// Short rule name (kebab-case).
+    pub name: &'static str,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What exactly was matched.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+/// Static description of one rule, for reports and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    pub code: &'static str,
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub hint: &'static str,
+}
+
+/// The rule table, in code order.
+pub const RULES: [RuleInfo; 8] = [
+    RuleInfo {
+        code: "D001",
+        name: "hash-iteration-order",
+        summary: "HashMap/HashSet in result-affecting code: iteration order is \
+                  arbitrary, so any fold over it can change the output run-to-run",
+        hint: "use BTreeMap/BTreeSet, or justify order-insensitivity with \
+               `// npu-lint: allow(D001) <reason>`",
+    },
+    RuleInfo {
+        code: "D002",
+        name: "nan-partial-ord",
+        summary: "partial_cmp(..).unwrap()/expect(..) comparator: a single NaN \
+                  key panics mid-sweep (or silently reorders with unwrap_or)",
+        hint: "use f64::total_cmp or the npu_core::float total_* helpers",
+    },
+    RuleInfo {
+        code: "D003",
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime::now outside crates/bench: wall-clock \
+                  reads make results timing-dependent",
+        hint: "thread simulated time through explicitly; only the bench/CLI \
+               crate may read real clocks",
+    },
+    RuleInfo {
+        code: "D004",
+        name: "ambient-rng",
+        summary: "thread_rng/rand::random: ambient RNG state breaks run-to-run \
+                  and serial-vs-parallel bit-identity",
+        hint: "thread a seeded StdRng (rand::SeedableRng) through the call path",
+    },
+    RuleInfo {
+        code: "D005",
+        name: "env-access",
+        summary: "std::env::var outside CLI/bless entrypoints: hidden \
+                  environment reads make results machine-dependent",
+        hint: "plumb configuration through typed config structs; only the \
+               bench/CLI crate may read the environment (or justify with an \
+               allow comment)",
+    },
+    RuleInfo {
+        code: "D006",
+        name: "unordered-reduction",
+        summary: "Mutex/atomic mutation captured inside a par_map closure: \
+                  cross-worker mutation races the reduction order",
+        hint: "return per-item values and reduce over par_map's input-ordered \
+               result instead",
+    },
+    RuleInfo {
+        code: "X001",
+        name: "unjustified-allow",
+        summary: "an npu-lint allow comment without a written justification \
+                  (or with an unknown rule code)",
+        hint: "write the reason after the closing parenthesis: \
+               `// npu-lint: allow(D001) <why this is order-insensitive>`",
+    },
+    RuleInfo {
+        code: "X002",
+        name: "stale-allow",
+        summary: "an npu-lint allow comment that suppresses no finding",
+        hint: "delete the comment (or move it onto the offending line or the \
+               line directly above it)",
+    },
+];
+
+/// Looks up a rule by code.
+pub fn rule_info(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+fn finding(rule: &'static str, file: &str, tok: &Token, message: String) -> Finding {
+    let info = rule_info(rule).expect("rule codes in the table");
+    Finding {
+        rule,
+        name: info.name,
+        file: file.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        hint: info.hint,
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (which must be a `(`).
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// D001: any non-`use` mention of `HashMap`/`HashSet`.
+///
+/// Token-level analysis cannot see types, so the rule is deliberately
+/// conservative: *declaring* a hash container is the hazard (something
+/// will eventually iterate it), and order-insensitive uses carry an
+/// allow justification at the declaration.
+pub fn d001(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(finding(
+                "D001",
+                file,
+                t,
+                format!("`{}` declared in result-affecting code", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// D002: `partial_cmp(..)` whose result is force-unwrapped (or
+/// defaulted) — `unwrap`, `expect`, `unwrap_or`, `unwrap_or_else`.
+pub fn d002(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    const SINKS: [&str; 4] = ["unwrap", "expect", "unwrap_or", "unwrap_or_else"];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || !t.is_ident("partial_cmp") {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue; // `fn partial_cmp` definitions reach here via `(` too;
+                      // they are excluded by the `->` that follows the args.
+        };
+        let Some(close) = matching_paren(tokens, open) else {
+            continue;
+        };
+        let dot = tokens.get(close + 1).is_some_and(|n| n.is_punct('.'));
+        let sink = tokens
+            .get(close + 2)
+            .is_some_and(|n| SINKS.iter().any(|s| n.is_ident(s)));
+        if dot && sink {
+            out.push(finding(
+                "D002",
+                file,
+                t,
+                format!(
+                    "`partial_cmp(..).{}(..)` comparator",
+                    tokens[close + 2].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// D003: `Instant::now` / `SystemTime::now`.
+pub fn d003(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    path_call(
+        tokens,
+        file,
+        skip,
+        "D003",
+        &["Instant", "SystemTime"],
+        "now",
+    )
+}
+
+/// D004: `thread_rng` anywhere, or `rand::random`.
+pub fn d004(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        if t.is_ident("thread_rng") {
+            out.push(finding("D004", file, t, "`thread_rng` call".to_string()));
+        }
+    }
+    out.extend(path_call(tokens, file, skip, "D004", &["rand"], "random"));
+    out
+}
+
+/// D005: `env::var` / `env::var_os` / `env::vars`.
+pub fn d005(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for tail in ["var", "var_os", "vars"] {
+        out.extend(path_call(tokens, file, skip, "D005", &["env"], tail));
+    }
+    out.sort_by_key(|f| (f.line, f.col));
+    out
+}
+
+/// Matches `<head> :: <tail>` for any head in `heads`, e.g.
+/// `Instant::now`. `::` lexes as two `:` puncts.
+fn path_call(
+    tokens: &[Token],
+    file: &str,
+    skip: &[bool],
+    rule: &'static str,
+    heads: &[&str],
+    tail: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if !heads.iter().any(|h| t.is_ident(h)) {
+            continue;
+        }
+        let is_path = tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|c| c.is_ident(tail));
+        if is_path {
+            out.push(finding(
+                rule,
+                file,
+                t,
+                format!("`{}::{}` call", t.text, tail),
+            ));
+        }
+    }
+    out
+}
+
+/// D006: shared-state primitives (`Mutex`, `RwLock`, atomics,
+/// `fetch_*`, `compare_exchange`) lexically inside the argument list of
+/// a `par_map`/`par_map_indexed`/`par_map_threshold` call.
+pub fn d006(tokens: &[Token], file: &str, skip: &[bool]) -> Vec<Finding> {
+    const EXECUTORS: [&str; 3] = ["par_map", "par_map_indexed", "par_map_threshold"];
+    const SHARED: [&str; 12] = [
+        "Mutex",
+        "RwLock",
+        "AtomicBool",
+        "AtomicUsize",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicI32",
+        "AtomicI64",
+        "fetch_add",
+        "fetch_sub",
+        "fetch_or",
+        "compare_exchange",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || !EXECUTORS.iter().any(|e| t.is_ident(e)) {
+            continue;
+        }
+        // Call sites only: `par_map(` — generic fn *definitions*
+        // continue with `<` or `(args: T)` + `->` and never contain the
+        // executor name followed directly by an argument list of user
+        // code, so requiring the immediate `(` is enough in practice.
+        let Some(open) = tokens.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        let Some(close) = matching_paren(tokens, open) else {
+            continue;
+        };
+        for inner in &tokens[open + 1..close] {
+            if SHARED.iter().any(|s| inner.is_ident(s)) {
+                out.push(finding(
+                    "D006",
+                    file,
+                    inner,
+                    format!("`{}` captured inside a `{}` call", inner.text, t.text),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn no_skip(tokens: &[Token]) -> Vec<bool> {
+        vec![false; tokens.len()]
+    }
+
+    #[test]
+    fn d002_ignores_partial_ord_impls() {
+        let src = "impl PartialOrd for X { fn partial_cmp(&self, o: &X) -> Option<Ordering> { Some(self.cmp(o)) } }";
+        let lexed = lex(src);
+        assert!(d002(&lexed.tokens, "x.rs", &no_skip(&lexed.tokens)).is_empty());
+    }
+
+    #[test]
+    fn d002_catches_nested_parens_before_the_sink() {
+        let src = "v.sort_by(|a, b| key(b).partial_cmp(&key(a)).expect(msg()));";
+        let lexed = lex(src);
+        let f = d002(&lexed.tokens, "x.rs", &no_skip(&lexed.tokens));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("expect"));
+    }
+
+    #[test]
+    fn d006_only_fires_inside_executor_calls() {
+        let src = "let m = Mutex::new(0); par_map(&xs, |x| m.lock());";
+        let lexed = lex(src);
+        let f = d006(&lexed.tokens, "x.rs", &no_skip(&lexed.tokens));
+        // The declaration is outside the call; only a `Mutex` *inside*
+        // the argument list fires.
+        assert!(f.is_empty());
+        let src = "par_map(&xs, |x| COUNTER.fetch_add(1, Ordering::Relaxed));";
+        let lexed = lex(src);
+        let f = d006(&lexed.tokens, "x.rs", &no_skip(&lexed.tokens));
+        assert_eq!(f.len(), 1);
+    }
+}

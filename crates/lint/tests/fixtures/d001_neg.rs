@@ -1,0 +1,28 @@
+// D001 negative: ordered containers, an import alone, and a justified
+// allow are all clean.
+use std::collections::BTreeMap;
+use std::collections::HashMap as _; // imports are not declarations
+
+pub struct Clean {
+    // npu-lint: allow(D001) len-only aggregate; iteration order unobservable
+    cache: std::collections::HashMap<u32, u32>,
+    ordered: BTreeMap<u32, u32>,
+}
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: scratch hash containers are fine here.
+    use std::collections::HashSet;
+
+    fn scratch() -> HashSet<u32> {
+        HashSet::new()
+    }
+}

@@ -1,0 +1,28 @@
+// D002 negative: total_cmp comparators and a PartialOrd impl that
+// merely *defines* partial_cmp.
+use std::cmp::Ordering;
+
+pub struct Time(pub f64);
+
+impl PartialEq for Time {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn argmin(load: &[f64]) -> Option<usize> {
+    load.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+pub fn checked(a: f64, b: f64) -> Option<Ordering> {
+    a.partial_cmp(&b) // propagating the Option is fine
+}

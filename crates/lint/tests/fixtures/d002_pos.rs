@@ -1,0 +1,12 @@
+// D002 positive: force-unwrapped partial_cmp comparators.
+pub fn argmin(load: &[f64]) -> usize {
+    load.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+pub fn sort_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}

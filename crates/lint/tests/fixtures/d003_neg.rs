@@ -1,0 +1,12 @@
+// D003 negative: simulated time threaded explicitly; the word `now` in
+// prose or as a local is not a clock read.
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        self.now += dt;
+        self.now
+    }
+}

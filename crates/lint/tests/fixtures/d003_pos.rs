@@ -1,0 +1,8 @@
+// D003 positive: wall-clock reads in simulation code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    (t0, wall)
+}

@@ -1,0 +1,8 @@
+// D004 negative: a seeded RNG threaded through the call path.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

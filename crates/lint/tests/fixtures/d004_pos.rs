@@ -1,0 +1,8 @@
+// D004 positive: ambient RNG state.
+use rand::thread_rng;
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0) + rand::random::<f64>()
+}

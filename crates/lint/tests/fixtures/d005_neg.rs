@@ -1,0 +1,13 @@
+// D005 negative: configuration arrives through a typed struct; the
+// compile-time env! macro is not a runtime environment read.
+pub struct Config {
+    pub debug: bool,
+}
+
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+pub fn debug_enabled(cfg: &Config) -> bool {
+    cfg.debug
+}

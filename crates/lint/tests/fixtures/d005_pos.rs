@@ -1,0 +1,4 @@
+// D005 positive: hidden environment reads in library code.
+pub fn debug_enabled() -> bool {
+    std::env::var("MY_DEBUG").is_ok() || std::env::var_os("MY_TRACE").is_some()
+}

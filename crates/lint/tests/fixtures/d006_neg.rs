@@ -1,0 +1,12 @@
+// D006 negative: pure per-item closures; the reduction folds par_map's
+// input-ordered result, and shared state *outside* the call is fine.
+use std::sync::Mutex;
+
+pub fn ordered_sum(xs: &[u64]) -> u64 {
+    npu_par::par_map(xs, |&x| x * x).iter().sum()
+}
+
+pub fn state_outside(xs: &[u64]) -> Mutex<Vec<u64>> {
+    let squares = npu_par::par_map(xs, |&x| x * x);
+    Mutex::new(squares)
+}

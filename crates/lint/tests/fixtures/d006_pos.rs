@@ -1,0 +1,16 @@
+// D006 positive: cross-worker mutation captured inside a par_map
+// closure — the reduction order races.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn racy_sum(xs: &[u64]) -> u64 {
+    let total = AtomicU64::new(0);
+    npu_par::par_map(xs, |&x| total.fetch_add(x, Ordering::Relaxed));
+    total.load(Ordering::Relaxed)
+}
+
+pub fn racy_collect(xs: &[u64]) -> Vec<u64> {
+    let out = Mutex::new(Vec::new());
+    npu_par::par_map_indexed(xs, |_, &x| out.lock().map(|mut v| Mutex::new(v.push(x))));
+    out.into_inner().unwrap()
+}

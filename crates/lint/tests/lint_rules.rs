@@ -1,0 +1,165 @@
+//! Fixture-corpus tests for the rule engine: one positive and one
+//! negative snippet per rule (D001–D006), span accuracy, and
+//! allow-comment semantics.
+
+use npu_lint::{lint_source, Finding};
+
+fn findings(rel_path: &str, src: &str) -> Vec<Finding> {
+    lint_source(rel_path, src).0
+}
+
+fn rules_of(fs: &[Finding]) -> Vec<&'static str> {
+    fs.iter().map(|f| f.rule).collect()
+}
+
+macro_rules! fixture {
+    ($name:literal) => {
+        include_str!(concat!("fixtures/", $name, ".rs"))
+    };
+}
+
+#[test]
+fn d001_hash_iteration_order() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d001_pos"));
+    assert!(
+        rules_of(&pos).contains(&"D001"),
+        "positive fixture must fire: {pos:?}"
+    );
+    let neg = findings("crates/x/src/lib.rs", fixture!("d001_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+}
+
+#[test]
+fn d002_nan_partial_ord() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d002_pos"));
+    assert_eq!(rules_of(&pos), vec!["D002", "D002"], "{pos:?}");
+    let neg = findings("crates/x/src/lib.rs", fixture!("d002_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+}
+
+#[test]
+fn d003_wall_clock() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d003_pos"));
+    assert_eq!(rules_of(&pos), vec!["D003", "D003"], "{pos:?}");
+    let neg = findings("crates/x/src/lib.rs", fixture!("d003_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+    // The bench/CLI crate is exempt.
+    let bench = findings("crates/bench/src/main.rs", fixture!("d003_pos"));
+    assert!(bench.is_empty(), "bench crate may read clocks: {bench:?}");
+}
+
+#[test]
+fn d004_ambient_rng() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d004_pos"));
+    assert_eq!(rules_of(&pos), vec!["D004", "D004"], "{pos:?}");
+    let neg = findings("crates/x/src/lib.rs", fixture!("d004_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+}
+
+#[test]
+fn d005_env_access() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d005_pos"));
+    assert_eq!(rules_of(&pos), vec!["D005", "D005"], "{pos:?}");
+    let neg = findings("crates/x/src/lib.rs", fixture!("d005_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+    let bench = findings("crates/bench/src/main.rs", fixture!("d005_pos"));
+    assert!(bench.is_empty(), "bench crate may read the env: {bench:?}");
+}
+
+#[test]
+fn d006_unordered_reduction() {
+    let pos = findings("crates/x/src/lib.rs", fixture!("d006_pos"));
+    assert_eq!(rules_of(&pos), vec!["D006", "D006"], "{pos:?}");
+    let neg = findings("crates/x/src/lib.rs", fixture!("d006_neg"));
+    assert!(neg.is_empty(), "negative fixture must be clean: {neg:?}");
+}
+
+#[test]
+fn spans_point_at_the_offending_token() {
+    // d002_pos.rs line 5: `.min_by(|a, b| a.1.partial_cmp(b.1)...`;
+    // the span anchors on `partial_cmp` itself.
+    let pos = findings("crates/x/src/lib.rs", fixture!("d002_pos"));
+    let first = &pos[0];
+    assert_eq!(first.line, 5, "{first:?}");
+    let line = fixture!("d002_pos").lines().nth(4).unwrap();
+    let at = line
+        .char_indices()
+        .map(|(i, _)| i)
+        .nth(first.col as usize - 1);
+    assert_eq!(at, line.find("partial_cmp"), "{first:?}\nline: {line}");
+
+    // d005_pos.rs line 3 has two findings with distinct columns.
+    let pos = findings("crates/x/src/lib.rs", fixture!("d005_pos"));
+    assert_eq!(pos.len(), 2);
+    assert_eq!(pos[0].line, pos[1].line);
+    assert!(pos[0].col < pos[1].col, "{pos:?}");
+}
+
+#[test]
+fn every_finding_carries_name_and_hint() {
+    for fix in [
+        fixture!("d001_pos"),
+        fixture!("d002_pos"),
+        fixture!("d003_pos"),
+        fixture!("d004_pos"),
+        fixture!("d005_pos"),
+        fixture!("d006_pos"),
+    ] {
+        for f in findings("crates/x/src/lib.rs", fix) {
+            assert!(!f.name.is_empty());
+            assert!(!f.hint.is_empty());
+            assert!(!f.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn allow_on_same_line_and_line_above_both_suppress() {
+    let above = "// npu-lint: allow(D004) seeded upstream, mirrors the paper harness\nfn f() { thread_rng(); }\n";
+    let (f, a) = lint_source("crates/x/src/lib.rs", above);
+    assert!(f.is_empty(), "{f:?}");
+    assert_eq!(a.len(), 1);
+
+    let trailing = "fn f() { thread_rng(); } // npu-lint: allow(D004) seeded upstream\n";
+    let (f, a) = lint_source("crates/x/src/lib.rs", trailing);
+    assert!(f.is_empty(), "{f:?}");
+    assert_eq!(a[0].reason, "seeded upstream");
+}
+
+#[test]
+fn allow_does_not_reach_past_the_next_line() {
+    let src = "// npu-lint: allow(D004) too far away\n\nfn f() { thread_rng(); }\n";
+    let (f, _) = lint_source("crates/x/src/lib.rs", src);
+    let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+    assert!(rules.contains(&"D004"), "{f:?}");
+    assert!(rules.contains(&"X002"), "stale at distance 2: {f:?}");
+}
+
+#[test]
+fn allow_for_the_wrong_rule_does_not_suppress() {
+    let src = "// npu-lint: allow(D001) wrong code\nfn f() { thread_rng(); }\n";
+    let (f, _) = lint_source("crates/x/src/lib.rs", src);
+    let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+    assert!(rules.contains(&"D004"), "{f:?}");
+    assert!(rules.contains(&"X002"), "{f:?}");
+}
+
+#[test]
+fn unknown_rule_code_in_allow_is_invalid() {
+    let src = "// npu-lint: allow(D999) no such rule\nfn f() {}\n";
+    let (f, _) = lint_source("crates/x/src/lib.rs", src);
+    assert_eq!(rules_of(&f), vec!["X001"], "{f:?}");
+}
+
+#[test]
+fn rule_table_is_complete_and_unique() {
+    let codes: Vec<&str> = npu_lint::RULES.iter().map(|r| r.code).collect();
+    assert_eq!(
+        codes,
+        vec!["D001", "D002", "D003", "D004", "D005", "D006", "X001", "X002"]
+    );
+    for r in npu_lint::RULES {
+        assert!(!r.summary.is_empty());
+        assert!(!r.hint.is_empty());
+    }
+}

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use npu_dnn::Layer;
-use npu_tensor::Hertz;
+use npu_tensor::{float, Hertz};
 
 use crate::accelerator::Dataflow;
 use crate::mapping;
@@ -56,10 +56,8 @@ pub fn geometry_sweep(
         r += 1;
     }
     out.sort_by(|a, b| {
-        b.active_pes
-            .partial_cmp(&a.active_pes)
-            .expect("occupancy is finite")
-            .then(a.rows.cmp(&b.rows))
+        // Composite key: total-order on occupancy, rows break ties.
+        float::total_cmp(b.active_pes, a.active_pes).then(a.rows.cmp(&b.rows))
     });
     out
 }

@@ -30,6 +30,7 @@ use crate::topology::{Mesh2d, NodeId};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficMatrix {
     mesh: Mesh2d,
+    // npu-lint: allow(D001) consumed via max/len aggregates only (max_link_load, active_links); order unobservable
     links: HashMap<(NodeId, NodeId), Bytes>,
     total: Bytes,
 }
@@ -39,6 +40,7 @@ impl TrafficMatrix {
     pub fn new(mesh: Mesh2d) -> Self {
         TrafficMatrix {
             mesh,
+            // npu-lint: allow(D001) same matrix as above: aggregate-only reads
             links: HashMap::new(),
             total: Bytes::ZERO,
         }

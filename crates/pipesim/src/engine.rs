@@ -120,10 +120,11 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by time (then insertion order for determinism).
+        // total_cmp keeps the heap order total even if a cost model
+        // ever produced a NaN timestamp.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("times are finite")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

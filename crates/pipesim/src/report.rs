@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use npu_mcm::ChipletId;
-use npu_tensor::Seconds;
+use npu_tensor::{float, Seconds};
 
 use crate::quantiles::Quantiles;
 
@@ -154,10 +154,7 @@ impl SimReport {
 
     /// The busiest chiplet and its busy fraction.
     pub fn bottleneck(&self) -> Option<(ChipletId, f64)> {
-        self.busy
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(&c, &b)| (c, b))
+        float::total_max_by_key(self.busy.iter(), |&(_, &b)| b).map(|(&c, &b)| (c, b))
     }
 }
 

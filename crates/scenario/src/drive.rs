@@ -33,7 +33,7 @@ use npu_pipesim::{
 use npu_sched::rematch::rematch_cost;
 use npu_sched::Schedule;
 use npu_study::{Axis, Grid, Study};
-use npu_tensor::{Bytes, Dtype, Seconds};
+use npu_tensor::{float, Bytes, Dtype, Seconds};
 
 use crate::rig::CameraRig;
 use crate::scenario::{OperatingMode, Scenario};
@@ -324,11 +324,7 @@ impl DriveOutcome {
 
     /// The costliest mode switch, if the drive has any.
     pub fn worst_transition(&self) -> Option<&TransitionReport> {
-        self.transitions.iter().max_by(|a, b| {
-            a.rematch_latency
-                .partial_cmp(&b.rematch_latency)
-                .expect("finite latencies")
-        })
+        float::total_max_by_key(self.transitions.iter(), |t| t.rematch_latency.as_secs())
     }
 }
 

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use npu_dnn::{PerceptionPipeline, StageKind};
 use npu_maestro::CostModel;
 use npu_mcm::{ChipletId, McmPackage};
+use npu_tensor::float;
 
 use crate::plan::{LayerPlan, ModelPlan, Schedule, StagePlan};
 
@@ -46,11 +47,8 @@ pub fn baseline_schedule(
     let chips: Vec<ChipletId> = pkg.ids().collect();
     let mut load: Vec<f64> = vec![0.0; chips.len()];
     let least_loaded = |load: &mut Vec<f64>, time: f64| -> ChipletId {
-        let (idx, _) = load
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-            .expect("non-empty");
+        let (idx, _) =
+            float::total_min_by_key(load.iter().enumerate(), |&(_, &t)| t).expect("non-empty");
         load[idx] += time;
         chips[idx]
     };
@@ -77,14 +75,11 @@ pub fn baseline_schedule(
             })
             .collect();
         let mut order: Vec<usize> = (0..totals.len()).collect();
-        order.sort_by(|&a, &b| totals[b].partial_cmp(&totals[a]).expect("no NaN"));
+        float::total_sort_desc_by_key(&mut order, |&si| totals[si]);
         let mut chip_load: Vec<f64> = vec![0.0; chips.len()];
         let mut mapping = vec![chips[0]; totals.len()];
         for si in order {
-            let (idx, _) = chip_load
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            let (idx, _) = float::total_min_by_key(chip_load.iter().enumerate(), |&(_, &t)| t)
                 .expect("non-empty");
             chip_load[idx] += totals[si];
             mapping[si] = chips[idx];

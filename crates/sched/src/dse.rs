@@ -29,7 +29,7 @@ use npu_maestro::CostModel;
 use npu_mcm::hetero::{het_candidates, with_ws_chiplets};
 use npu_mcm::{stage_regions, ChipletId, McmPackage};
 use npu_study::{Axis, Grid, Study};
-use npu_tensor::{Dtype, Seconds};
+use npu_tensor::{float, Dtype, Seconds};
 
 use crate::eval::{evaluate, EvalReport};
 use crate::plan::{LayerPlan, ModelPlan, Schedule, StagePlan};
@@ -179,6 +179,7 @@ pub fn explore_trunks(
     });
 
     let searched = run.metrics().iter().flatten().count();
+    // npu-lint: allow(D005) debug tracing gate: prints to stderr only, never affects returned results
     if std::env::var("DSE_DEBUG").is_ok() {
         for (combo, entry) in run.iter() {
             let Some((_, report, feasible)) = entry else {
@@ -314,10 +315,7 @@ impl<'p> Packer<'p> {
     /// Places a group of layers on the least-busy chiplet of the pool.
     fn place(&mut self, layers: &[&npu_dnn::Layer], ws: bool) -> ChipletId {
         let pool = if ws { &mut self.ws } else { &mut self.os };
-        let (idx, _) = pool
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("no NaN"))
+        let (idx, _) = float::total_min_by_key(pool.iter().enumerate(), |&(_, &(_, t))| t)
             .expect("pool not empty");
         let chiplet = pool[idx].0;
         let acc = self.pkg.chiplet(chiplet).accelerator();

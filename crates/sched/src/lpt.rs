@@ -10,6 +10,7 @@
 use npu_dnn::PerceptionPipeline;
 use npu_maestro::CostModel;
 use npu_mcm::{ChipletId, McmPackage};
+use npu_tensor::float;
 
 use crate::plan::{LayerPlan, ModelPlan, Schedule, StagePlan};
 
@@ -62,12 +63,9 @@ pub fn lpt_schedule(
     }
 
     // Heaviest first onto the least-loaded chiplet.
-    items.sort_by(|a, b| b.time.partial_cmp(&a.time).expect("finite"));
+    float::total_sort_desc_by_key(&mut items, |item| item.time);
     for item in items {
-        let (idx, _) = load
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+        let (idx, _) = float::total_min_by_key(load.iter().enumerate(), |&(_, &(_, t))| t)
             .expect("non-empty package");
         let chiplet = load[idx].0;
         load[idx].1 += item.time;

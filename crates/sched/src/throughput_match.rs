@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use npu_dnn::{LayerId, OpClass, PerceptionPipeline, StageKind};
 use npu_maestro::{CostModel, MemoCostModel};
 use npu_mcm::{stage_regions, ChipletId, McmPackage};
-use npu_tensor::{Dtype, Seconds};
+use npu_tensor::{float, Dtype, Seconds};
 
 use crate::eval::{evaluate, EvalReport};
 use crate::plan::{LayerPlan, ModelPlan, Schedule, ShardAssignment, StagePlan};
@@ -219,16 +219,13 @@ impl<'m> ThroughputMatcher<'m> {
             let limit = base * (1.0 + self.cfg.tolerance);
 
             // Outer loop: worst bottleneck stage above the base latency.
-            let Some(si) = report
-                .per_stage
-                .iter()
-                .enumerate()
-                .filter(|(i, s)| {
+            let Some(si) = float::total_max_by_key(
+                report.per_stage.iter().enumerate().filter(|(i, s)| {
                     schedule.stages[*i].kind != StageKind::FeatureExtraction && s.pipe > limit
-                })
-                .max_by(|a, b| a.1.pipe.partial_cmp(&b.1.pipe).expect("no NaN"))
-                .map(|(i, _)| i)
-            else {
+                }),
+                |(_, s)| s.pipe.as_secs(),
+            )
+            .map(|(i, _)| i) else {
                 break;
             };
 
@@ -300,11 +297,7 @@ impl<'m> ThroughputMatcher<'m> {
             // stage, shard_step's exhaustion set walks its layers. Accept
             // the first step that strictly improves the global pipe.
             let mut order: Vec<usize> = (0..schedule.stages.len()).collect();
-            order.sort_by(|&a, &b| {
-                let pa = report.per_stage[a].pipe;
-                let pb = report.per_stage[b].pipe;
-                pb.partial_cmp(&pa).expect("no NaN")
-            });
+            float::total_sort_desc_by_key(&mut order, |&si| report.per_stage[si].pipe.as_secs());
 
             'stages: for si in order {
                 if schedule.stages[si].kind == StageKind::FeatureExtraction {

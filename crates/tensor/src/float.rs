@@ -1,0 +1,180 @@
+//! NaN-total-order selection and sorting helpers.
+//!
+//! Every argmin/argmax/sort over `f64` keys in this workspace must be a
+//! *total* order: `partial_cmp(..).expect("no NaN")` turns a single NaN
+//! produced anywhere upstream into a panic in the middle of a sweep, and
+//! `unwrap_or(Equal)` silently destabilises the order instead. These
+//! helpers route every comparison through [`f64::total_cmp`], which is
+//! total over all bit patterns (NaN sorts above +inf, -0.0 below +0.0),
+//! so selection is deterministic and panic-free on **any** input while
+//! agreeing bit-for-bit with the old `partial_cmp` path on finite keys.
+//!
+//! The `npu-lint` rule **D002 nan-partial-ord** rejects new
+//! `partial_cmp(..).unwrap()/expect(..)` comparator sites; migrate them
+//! here instead.
+//!
+//! Tie-breaking mirrors the standard library exactly:
+//!
+//! * [`total_min_by_key`] returns the **first** minimal element,
+//! * [`total_max_by_key`] returns the **last** maximal element,
+//! * [`total_sort_by_key`] / [`total_sort_desc_by_key`] are **stable**,
+//!
+//! so swapping an existing `min_by`/`max_by`/`sort_by` call for the
+//! helper never changes which element wins on finite keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use npu_tensor::float;
+//!
+//! let loads = [(0usize, 3.0), (1, 1.0), (2, 1.0)];
+//! let least = float::total_min_by_key(loads.iter(), |&&(_, t)| t);
+//! assert_eq!(least, Some(&(1, 1.0))); // first minimum wins ties
+//!
+//! let mut xs = vec![2.0, f64::NAN, 1.0];
+//! float::total_sort_by_key(&mut xs, |&x| x);
+//! assert_eq!(xs[0], 1.0); // NaN sorts last, nothing panics
+//! assert!(xs[2].is_nan());
+//! ```
+
+use std::cmp::Ordering;
+
+/// Total-order comparison of two `f64` keys ([`f64::total_cmp`]).
+///
+/// The comparator to reach for when the composite sort key needs more
+/// than one field (chain with [`Ordering::then`]).
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// The element with the minimal `f64` key under the total order.
+///
+/// Ties resolve to the **first** minimal element, exactly like
+/// [`Iterator::min_by`]; an empty iterator yields `None`.
+pub fn total_min_by_key<T, I, F>(iter: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    iter.into_iter().min_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// The element with the maximal `f64` key under the total order.
+///
+/// Ties resolve to the **last** maximal element, exactly like
+/// [`Iterator::max_by`]; an empty iterator yields `None`.
+pub fn total_max_by_key<T, I, F>(iter: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    iter.into_iter().max_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// Stable ascending sort by an `f64` key under the total order.
+///
+/// NaN keys sort after every finite key instead of panicking.
+pub fn total_sort_by_key<T, F>(slice: &mut [T], mut key: F)
+where
+    F: FnMut(&T) -> f64,
+{
+    slice.sort_by(|a, b| key(a).total_cmp(&key(b)));
+}
+
+/// Stable descending sort by an `f64` key under the total order.
+///
+/// The descending twin of [`total_sort_by_key`] — equivalent to the
+/// common `sort_by(|a, b| key(b).partial_cmp(&key(a)).expect(..))`
+/// idiom, minus the panic: NaN keys sort *first* (they are the largest
+/// values of the total order), finite keys keep their relative order.
+pub fn total_sort_desc_by_key<T, F>(slice: &mut [T], mut key: F)
+where
+    F: FnMut(&T) -> f64,
+{
+    slice.sort_by(|a, b| key(b).total_cmp(&key(a)));
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::{prop_assert_eq, proptest};
+
+    use super::*;
+
+    #[test]
+    fn min_returns_first_tie_max_returns_last() {
+        let xs = [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)];
+        assert_eq!(total_min_by_key(xs.iter(), |&&(_, v)| v), Some(&(0, 1.0)));
+        assert_eq!(total_max_by_key(xs.iter(), |&&(_, v)| v), Some(&(3, 2.0)));
+    }
+
+    #[test]
+    fn empty_iterators_yield_none() {
+        let xs: [f64; 0] = [];
+        assert_eq!(total_min_by_key(xs.iter(), |&&v| v), None);
+        assert_eq!(total_max_by_key(xs.iter(), |&&v| v), None);
+    }
+
+    #[test]
+    fn nan_never_panics_and_sorts_above_infinity() {
+        let mut xs = vec![f64::INFINITY, f64::NAN, -1.0, f64::NEG_INFINITY];
+        total_sort_by_key(&mut xs, |&x| x);
+        assert_eq!(xs[0], f64::NEG_INFINITY);
+        assert_eq!(xs[2], f64::INFINITY);
+        assert!(xs[3].is_nan());
+        let min = total_min_by_key(xs.iter(), |&&x| x);
+        assert_eq!(min, Some(&f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn descending_sort_is_stable() {
+        let mut xs = [(0, 2.0), (1, 1.0), (2, 2.0)];
+        total_sort_desc_by_key(&mut xs, |&(_, v)| v);
+        assert_eq!(xs.map(|(i, _)| i), [0, 2, 1]);
+    }
+
+    // The migration contract of ISSUE 7: on finite keys every helper
+    // selects the exact element (index included — ties matter) and the
+    // exact order that the old `partial_cmp(..).expect("no NaN")` idiom
+    // did, so swapping the workspace's argmin/argmax/sort sites over is
+    // behaviour-preserving and the goldens stay byte-identical.
+    proptest! {
+        #[test]
+        fn selection_matches_partial_cmp_on_finite_inputs(
+            xs in proptest::collection::vec(-1e12f64..1e12, 1..48),
+        ) {
+            let min_total = total_min_by_key(xs.iter().enumerate(), |&(_, &x)| x);
+            let min_partial = xs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"));
+            prop_assert_eq!(min_total, min_partial);
+
+            let max_total = total_max_by_key(xs.iter().enumerate(), |&(_, &x)| x);
+            let max_partial = xs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"));
+            prop_assert_eq!(max_total, max_partial);
+        }
+
+        #[test]
+        fn sort_order_matches_partial_cmp_on_finite_inputs(
+            xs in proptest::collection::vec(-1e12f64..1e12, 0..48),
+        ) {
+            let indexed: Vec<(usize, f64)> = xs.iter().copied().enumerate().collect();
+
+            let mut asc_total = indexed.clone();
+            total_sort_by_key(&mut asc_total, |&(_, x)| x);
+            let mut asc_partial = indexed.clone();
+            asc_partial.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            prop_assert_eq!(asc_total, asc_partial);
+
+            let mut desc_total = indexed.clone();
+            total_sort_desc_by_key(&mut desc_total, |&(_, x)| x);
+            let mut desc_partial = indexed;
+            desc_partial.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            prop_assert_eq!(desc_total, desc_partial);
+        }
+    }
+}

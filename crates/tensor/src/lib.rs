@@ -9,6 +9,9 @@
 //! * [`dtype`] — numeric datatypes carried by feature maps ([`Dtype`]).
 //! * [`shape`] — tensor shapes ([`TensorShape`]) with element/byte
 //!   accounting.
+//! * [`float`] — NaN-total-order argmin/argmax/sort helpers
+//!   (`total_min_by_key` & co.) so float selection is deterministic and
+//!   panic-free; the `npu-lint` D002 rule enforces their use.
 //!
 //! # Examples
 //!
@@ -25,6 +28,7 @@
 //! ```
 
 pub mod dtype;
+pub mod float;
 pub mod shape;
 pub mod units;
 
