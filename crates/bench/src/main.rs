@@ -188,6 +188,19 @@ impl Artifact for DriveTimelines {
     }
 }
 
+struct DriveLongTimeline;
+impl Artifact for DriveLongTimeline {
+    fn name(&self) -> &'static str {
+        "drive-long"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["long-drive", "drive_long"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::drive_long::run())
+    }
+}
+
 struct Tails;
 impl Artifact for Tails {
     fn name(&self) -> &'static str {
@@ -217,7 +230,7 @@ impl Artifact for Lint {
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases), `--list` and the
 /// error-message listing.
-static ARTIFACTS: [&dyn Artifact; 16] = [
+static ARTIFACTS: [&dyn Artifact; 17] = [
     &Fig3,
     &Fig4,
     &Fig5to8,
@@ -232,6 +245,7 @@ static ARTIFACTS: [&dyn Artifact; 16] = [
     &Scenarios,
     &ScenarioDse,
     &DriveTimelines,
+    &DriveLongTimeline,
     &Tails,
     &Lint,
 ];
@@ -410,6 +424,9 @@ mod tests {
         assert_eq!(find("scenario_dse").unwrap().name(), "scenario-dse");
         for alias in ["drives", "drive-timelines"] {
             assert_eq!(find(alias).unwrap().name(), "drive");
+        }
+        for alias in ["long-drive", "drive_long"] {
+            assert_eq!(find(alias).unwrap().name(), "drive-long");
         }
         for alias in ["tail", "tail-latency"] {
             assert_eq!(find(alias).unwrap().name(), "tails");

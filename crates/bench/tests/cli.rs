@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 16, "expected 16 JSON documents:\n{stdout}");
+    assert_eq!(docs, 17, "expected 17 JSON documents:\n{stdout}");
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
     assert!(out.status.success(), "repro --list failed");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 16, "one line per artifact:\n{stdout}");
+    assert_eq!(lines.len(), 17, "one line per artifact:\n{stdout}");
     assert_eq!(lines[0], "fig3");
     assert!(
         lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
@@ -83,6 +83,10 @@ fn list_prints_the_registry_one_artifact_per_line() {
     );
     assert!(
         lines.contains(&"drive (aliases: drives, drive-timelines)"),
+        "{stdout}"
+    );
+    assert!(
+        lines.contains(&"drive-long (aliases: long-drive, drive_long)"),
         "{stdout}"
     );
     assert!(
@@ -100,7 +104,7 @@ fn list_json_emits_a_json_array() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
         let entries = value.as_array().expect("a top-level JSON array");
-        assert_eq!(entries.len(), 16);
+        assert_eq!(entries.len(), 17);
         let names: Vec<&str> = entries
             .iter()
             .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())

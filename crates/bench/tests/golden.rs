@@ -100,6 +100,15 @@ fn drive_json_matches_golden() {
     check_golden("drive");
 }
 
+/// The long drive timeline: the new artifact of ISSUE 8. Pinning it
+/// byte-for-byte pins the minute-legged phased DES (per-segment steady
+/// state and both re-matches) and the short-vs-long-window tail
+/// resolution comparison of the rebuilt engine.
+#[test]
+fn drive_long_json_matches_golden() {
+    check_golden("drive-long");
+}
+
 /// The tail-latency DSE: the new artifact of ISSUE 6. Pinning it
 /// byte-for-byte pins every streamed percentile, the per-family
 /// mean-vs-tail winners and the envelope-level p99 winner shift.

@@ -1,0 +1,207 @@
+//! Long-timeline drive workbench: the headline cruise → urban → degraded
+//! sequence stretched to minute-scale legs, plus a tail-resolution
+//! comparison between the short sweep window and the long one.
+//!
+//! This is the workload class the ISSUE 8 engine rebuild targets: a
+//! minutes-long leg holds thousands of frames, but the engine's memory
+//! follows the handful of frames actually in flight, so the timeline
+//! costs events, not frames. The second table shows why long windows
+//! matter statistically too — at `SWEEP_FRAMES` (24) the trimmed window
+//! leaves p99 collapsed onto the window maximum; at `TAIL_SWEEP_FRAMES`
+//! (512) the upper tails get a real rank of their own.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use npu_maestro::{FittedMaestro, ReconfigModel};
+use npu_mcm::McmPackage;
+use npu_scenario::{
+    evaluate_point, simulate_drive, Drive, DriveOutcome, Scenario, ScenarioPoint, SWEEP_FRAMES,
+    TAIL_SWEEP_FRAMES,
+};
+use npu_tensor::Seconds;
+
+use crate::text::{ms, TextTable};
+
+/// Seconds per leg of the long timeline: one minute of 30 FPS video per
+/// mode (1 800 frames), three modes end to end.
+pub const LEG_SECS: f64 = 60.0;
+
+/// The long-timeline results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveLong {
+    /// The reconfiguration model pricing the two mode switches.
+    pub reconfig: ReconfigModel,
+    /// Seconds per leg.
+    pub leg: Seconds,
+    /// The minute-legged timeline on the paper's 6×6 package.
+    pub outcome: DriveOutcome,
+    /// Urban-dense steady state at the short (golden) sweep window.
+    pub short_window: ScenarioPoint,
+    /// The same scenario at the tail-resolving window.
+    pub long_window: ScenarioPoint,
+}
+
+impl DriveLong {
+    /// True when the long window separates p99 from the window maximum —
+    /// the resolution the 24-frame window cannot provide.
+    pub fn tails_resolved(&self) -> bool {
+        self.long_window.tails.p99 < self.long_window.max_latency
+    }
+}
+
+/// Runs the minute-legged headline timeline on the paper's 6×6 package
+/// and re-measures the urban-dense family at both sweep windows.
+pub fn run() -> DriveLong {
+    let model = FittedMaestro::new();
+    let pkg = McmPackage::simba_6x6();
+    let reconfig = ReconfigModel::default();
+    let leg = Seconds::new(LEG_SECS);
+    let drive = Drive::cruise_urban_degraded_scaled(leg);
+    let outcome = simulate_drive(&drive, &pkg, &model, &reconfig);
+    // The jittered urban family has an actual latency distribution, so
+    // window length visibly changes what the upper percentiles resolve.
+    let urban = Scenario::builtin()
+        .into_iter()
+        .find(|s| s.name == "urban-dense")
+        .expect("urban-dense is a built-in family");
+    let short_window = evaluate_point(&urban, &pkg, &model, SWEEP_FRAMES);
+    let long_window = evaluate_point(&urban, &pkg, &model, TAIL_SWEEP_FRAMES);
+    DriveLong {
+        reconfig,
+        leg,
+        outcome,
+        short_window,
+        long_window,
+    }
+}
+
+impl fmt::Display for DriveLong {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut seg = TextTable::new(
+            "Long drive timeline - minute-scale legs (phased DES)",
+            &[
+                "drive",
+                "segment",
+                "t0[s]",
+                "offered",
+                "dropped",
+                "DES[ms]",
+                "Lat[ms]",
+                "p99[ms]",
+                "maxLat[ms]",
+            ],
+        );
+        let o = &self.outcome;
+        for s in &o.segments {
+            seg.row(vec![
+                o.drive.clone(),
+                s.scenario.clone(),
+                format!("{:.1}", s.start.as_secs()),
+                s.offered.to_string(),
+                s.dropped.to_string(),
+                ms(s.des_interval),
+                ms(s.mean_latency),
+                ms(s.tails.p99),
+                ms(s.max_latency),
+            ]);
+        }
+        seg.note(format!(
+            "{:.0} s per leg ({} frames end to end) on {}; engine memory \
+             follows frames in flight, not frames offered",
+            self.leg.as_secs(),
+            o.total_offered,
+            o.package,
+        ));
+        seg.fmt(f)?;
+
+        let mut tails = TextTable::new(
+            "Window length vs tail resolution (urban-dense, 6x6)",
+            &[
+                "frames",
+                "measured",
+                "p50[ms]",
+                "p95[ms]",
+                "p99[ms]",
+                "p99.9[ms]",
+                "maxLat[ms]",
+            ],
+        );
+        for (frames, p) in [
+            (SWEEP_FRAMES, &self.short_window),
+            (TAIL_SWEEP_FRAMES, &self.long_window),
+        ] {
+            tails.row(vec![
+                frames.to_string(),
+                p.scenario.clone(),
+                ms(p.tails.p50),
+                ms(p.tails.p95),
+                ms(p.tails.p99),
+                ms(p.tails.p999),
+                ms(p.max_latency),
+            ]);
+        }
+        tails.note(
+            "at 24 frames the trimmed window pins every upper percentile to \
+             the window max; 512 frames give p99 a real rank",
+        );
+        tails.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    use super::*;
+
+    /// The run compiles three segments with the matcher and pushes a
+    /// minute of frames per leg; run once, share across tests.
+    fn result() -> &'static DriveLong {
+        static RESULT: OnceLock<DriveLong> = OnceLock::new();
+        RESULT.get_or_init(run)
+    }
+
+    #[test]
+    fn minute_legs_offer_minutes_of_frames() {
+        let r = result();
+        assert_eq!(r.outcome.segments.len(), 3);
+        // Three 60 s legs at 30 FPS (cruise/degraded) and jittered urban:
+        // thousands of frames end to end, with both switches paid.
+        assert!(
+            r.outcome.total_offered > 5_000,
+            "got {}",
+            r.outcome.total_offered
+        );
+        assert_eq!(r.outcome.transitions.len(), 2);
+        assert!((r.outcome.duration.as_secs() - 3.0 * LEG_SECS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_window_resolves_the_tails() {
+        let r = result();
+        // The short (golden) window cannot separate p99 from the max …
+        assert_eq!(
+            r.short_window.tails.p99.as_secs().to_bits(),
+            r.short_window.max_latency.as_secs().to_bits(),
+            "24-frame window: p99 degenerates to the max"
+        );
+        // … the 512-frame window can.
+        assert!(
+            r.tails_resolved(),
+            "512-frame window: p99 {} must sit below max {}",
+            r.long_window.tails.p99,
+            r.long_window.max_latency
+        );
+        assert!(r.long_window.tails.p50 <= r.long_window.tails.p99);
+    }
+
+    #[test]
+    fn renders_both_tables() {
+        let text = result().to_string();
+        assert!(text.contains("minute-scale legs"));
+        assert!(text.contains("tail resolution"));
+        assert!(text.contains("urban-dense"));
+    }
+}

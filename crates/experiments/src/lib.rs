@@ -21,6 +21,7 @@
 //! | Scenario workbench (driving workload envelope) | [`scenarios`] |
 //! | Scenario-aware package DSE (cheapest feasible package) | [`scenario_dse`] |
 //! | Drive timelines (online mode switching, re-match + drops) | [`drive`] |
+//! | Long drive timeline (minute-scale legs, tail resolution) | [`drive_long`] |
 //! | Tail-latency DSE (p99 SLO vs mean package choice) | [`tails`] |
 //! | Static analysis (determinism & panic-safety lint report) | [`lint`] |
 //!
@@ -34,6 +35,7 @@
 
 pub mod ablations;
 pub mod drive;
+pub mod drive_long;
 pub mod ext_sweeps;
 pub mod fig10;
 pub mod fig11;
@@ -59,7 +61,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 16] = [
+    let sections: [fn() -> String; 17] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -74,6 +76,7 @@ pub fn run_all() -> String {
         || scenarios::run().to_string(),
         || scenario_dse::run().to_string(),
         || drive::run().to_string(),
+        || drive_long::run().to_string(),
         || tails::run().to_string(),
         || lint::run().to_string(),
     ];

@@ -233,7 +233,9 @@ impl Arrivals {
     /// # Panics
     ///
     /// Panics if the variant's parameters are invalid (see
-    /// [`validate`](Self::validate)).
+    /// [`validate`](Self::validate)), or if a trace with a zero replay
+    /// cycle (a recording ending at t = 0) would have to loop to reach
+    /// `frames`.
     pub fn times(&self, frames: usize) -> Vec<f64> {
         self.validate();
         match self {
@@ -275,6 +277,16 @@ impl Arrivals {
             }
             Arrivals::Trace(trace) => {
                 let cycle = trace_cycle(trace);
+                // A trace whose recording ends at t = 0 (every timestamp
+                // zero) has a zero replay cycle: looping it would stamp
+                // every extra frame at t = 0 — silent saturation, not a
+                // replay. Reject instead of time-travelling in place.
+                assert!(
+                    frames <= trace.len() || cycle > 0.0,
+                    "a {}-frame trace ending at t = 0 has a zero replay cycle \
+                     and cannot loop to {frames} frames",
+                    trace.len()
+                );
                 (0..frames)
                     .map(|f| trace[f % trace.len()].as_secs() + (f / trace.len()) as f64 * cycle)
                     .collect()
@@ -443,6 +455,35 @@ mod tests {
         assert!((a.mean_interval().unwrap().as_secs() - 0.2).abs() < 1e-12);
     }
 
+    /// Regression (ISSUE 8): a trace whose recording ends at t = 0 has a
+    /// zero replay cycle. The old expansion silently looped it in place —
+    /// every extra frame at t = 0, a saturation run masquerading as a
+    /// replay. It must refuse to loop instead.
+    #[test]
+    #[should_panic(expected = "cannot loop")]
+    fn zero_cycle_trace_refuses_to_loop() {
+        let a = Arrivals::trace(vec![Seconds::new(0.0)]);
+        let _ = a.times(3);
+    }
+
+    /// The zero-cycle guard only fires when looping is actually needed:
+    /// replaying a t = 0 recording once per frame is fine.
+    #[test]
+    fn zero_cycle_trace_replays_without_looping() {
+        let a = Arrivals::trace(vec![Seconds::new(0.0), Seconds::new(0.0)]);
+        assert_eq!(a.times(2), vec![0.0, 0.0]);
+        assert_eq!(a.times(1), vec![0.0]);
+    }
+
+    /// A single-entry trace loops at its own timestamp: frame f arrives
+    /// at `t0 * (f + 1)`.
+    #[test]
+    fn single_entry_trace_loops_at_its_timestamp() {
+        let a = Arrivals::trace(vec![Seconds::new(2.0)]);
+        assert_eq!(a.times(3), vec![2.0, 4.0, 6.0]);
+        assert_eq!(a.mean_interval(), Some(Seconds::new(2.0)));
+    }
+
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn unsorted_trace_is_rejected() {
@@ -574,6 +615,43 @@ mod tests {
             arrivals: Arrivals::Saturated,
             frames: 2,
             span: Seconds::new(f64::NAN),
+        }]);
+        let _ = a.times(2);
+    }
+
+    /// A zero-segment timeline asked for frames would index into an
+    /// empty expansion (`base[f % 0]`): caught at expansion, not as a
+    /// modulo-by-zero panic deep in the loop arithmetic.
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_piecewise_is_caught_at_expansion() {
+        let a = Arrivals::Piecewise(Vec::new());
+        let _ = a.times(3);
+    }
+
+    /// A zero-span segment contributes nothing to the loop cycle, so
+    /// looping the timeline would replay it at the same instant forever:
+    /// rejected by the span validation.
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_span_segment_is_caught_at_expansion() {
+        let a = Arrivals::Piecewise(vec![ArrivalSegment {
+            arrivals: Arrivals::Saturated,
+            frames: 2,
+            span: Seconds::ZERO,
+        }]);
+        let _ = a.times(2);
+    }
+
+    /// A zero-frame segment has no last arrival to check against its
+    /// span: rejected before the seam check dereferences it.
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frame_segment_is_caught_at_expansion() {
+        let a = Arrivals::Piecewise(vec![ArrivalSegment {
+            arrivals: Arrivals::periodic_fps(30.0),
+            frames: 0,
+            span: Seconds::new(1.0),
         }]);
         let _ = a.times(2);
     }

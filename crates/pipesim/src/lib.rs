@@ -53,7 +53,9 @@ pub mod report;
 pub mod trace;
 
 pub use arrivals::{ArrivalSegment, Arrivals};
-pub use engine::{simulate, simulate_phases, PhaseReport, SimConfig, SimPhase};
+pub use engine::{
+    simulate, simulate_phases, simulate_with_stats, EngineStats, PhaseReport, SimConfig, SimPhase,
+};
 pub use quantiles::Quantiles;
 pub use report::{LatencyQuantiles, SimReport};
 pub use trace::TraceError;

@@ -77,74 +77,23 @@ impl SimReport {
     /// Builds the report from raw per-frame arrival/completion times and
     /// per-chiplet busy totals, trimming `warmup` frames from each end of
     /// the run for the steady-state statistics.
+    ///
+    /// A thin wrapper over the streaming [`ReportBuilder`] — the engine
+    /// feeds the builder frame by frame without ever materializing these
+    /// slices; tests that hold per-frame vectors go through here so both
+    /// paths share one implementation.
+    #[cfg(test)]
     pub(crate) fn from_run(
         arrivals: &[f64],
         completions: &[f64],
         busy_time: &BTreeMap<ChipletId, f64>,
         warmup: usize,
     ) -> SimReport {
-        let n = completions.len();
-        // A zero-frame run measures nothing; report zeros rather than
-        // indexing into empty slices below.
-        if n == 0 {
-            return SimReport {
-                steady_interval: Seconds::ZERO,
-                mean_latency: Seconds::ZERO,
-                max_latency: Seconds::ZERO,
-                tails: LatencyQuantiles::ZERO,
-                throughput_fps: 0.0,
-                measured_frames: 0,
-                busy: busy_time.keys().map(|&c| (c, 0.0)).collect(),
-            };
+        let mut b = ReportBuilder::new(completions.len(), warmup);
+        for (frame, (&a, &c)) in arrivals.iter().zip(completions).enumerate() {
+            b.record(frame, a, c);
         }
-        // Symmetric trim: `warmup` frames of pipeline fill at the head
-        // AND `warmup` frames of drain at the tail (cool-down frames
-        // finish faster than steady state once upstream pressure stops,
-        // and would bias the interval low). Clamped so the steady-state
-        // window always keeps at least one frame.
-        let trim = warmup.min(n.saturating_sub(1) / 2);
-        let (lo, hi) = (trim, n - trim);
-        let window = &completions[lo..hi];
-
-        let steady_interval = if window.len() >= 2 {
-            Seconds::new((window[window.len() - 1] - window[0]) / (window.len() - 1) as f64)
-        } else {
-            // One-frame window: fall back to that frame's service time.
-            Seconds::new(completions[lo] - arrivals[lo])
-        };
-
-        // Every steady-state statistic uses the same trimmed window as
-        // `measured_frames` — latencies AND tail percentiles included,
-        // so warmup fill / cool-down drain frames cannot leak into p99.
-        let latencies: Vec<f64> = (lo..hi).map(|i| completions[i] - arrivals[i]).collect();
-        let mean_latency =
-            Seconds::new(latencies.iter().sum::<f64>() / latencies.len().max(1) as f64);
-        let max_latency = Seconds::new(latencies.iter().copied().fold(0.0, f64::max));
-        let mut sketch = Quantiles::new();
-        for &l in &latencies {
-            sketch.insert(l);
-        }
-        let tails = LatencyQuantiles::from_stream(&sketch);
-
-        let makespan = completions.iter().copied().fold(0.0, f64::max);
-        let busy = busy_time
-            .iter()
-            .map(|(&c, &b)| (c, if makespan > 0.0 { b / makespan } else { 0.0 }))
-            .collect();
-
-        SimReport {
-            steady_interval,
-            mean_latency,
-            max_latency,
-            tails,
-            throughput_fps: if steady_interval.is_zero() {
-                0.0
-            } else {
-                1.0 / steady_interval.as_secs()
-            },
-            measured_frames: window.len(),
-            busy,
-        }
+        b.finish(busy_time)
     }
 
     /// Busy fraction of a chiplet over the run, if it hosted any work.
@@ -155,6 +104,147 @@ impl SimReport {
     /// The busiest chiplet and its busy fraction.
     pub fn bottleneck(&self) -> Option<(ChipletId, f64)> {
         float::total_max_by_key(self.busy.iter(), |&(_, &b)| b).map(|(&c, &b)| (c, b))
+    }
+}
+
+/// Streaming accumulator behind [`SimReport`]: the engine calls
+/// [`record`](ReportBuilder::record) once per frame **in frame order** as
+/// completions commit, so no per-frame arrival/completion vectors ever
+/// materialize — O(1) state per run regardless of frame count.
+///
+/// The frame count is known up front (one frame per arrival timestamp),
+/// so the symmetric warmup trim reduces to fixed index bounds `[lo, hi)`:
+/// frames outside the window only feed the whole-run extremes (first
+/// arrival, last completion) that the busy-fraction span needs; frames
+/// inside additionally stream into the latency sum/max and the
+/// [`Quantiles`] sketch in the same order the materialized path used,
+/// keeping every statistic bit-identical.
+pub(crate) struct ReportBuilder {
+    /// Total frames the run will record.
+    n: usize,
+    /// First frame inside the trimmed steady-state window.
+    lo: usize,
+    /// One past the last frame inside the window.
+    hi: usize,
+    /// Frames recorded so far (records must arrive in frame order).
+    recorded: usize,
+    /// Arrival time of frame 0: the start of the observed span.
+    first_arrival: f64,
+    /// Running max over **all** completions: the end of the span.
+    max_completion: f64,
+    /// Running latency sum over the window, in frame order.
+    sum_latency: f64,
+    /// Running latency max over the window.
+    max_latency: f64,
+    /// Streaming percentile sketch over the window.
+    sketch: Quantiles,
+    /// Completion of frame `lo` (window interval numerator start).
+    win_first: f64,
+    /// Completion of the latest windowed frame (ends at frame `hi-1`).
+    win_last: f64,
+    /// Latency of frame `lo`: the one-frame-window interval fallback.
+    fallback_latency: f64,
+}
+
+impl ReportBuilder {
+    /// A builder for an `n`-frame run with a symmetric `warmup` trim
+    /// (clamped so the window keeps at least one frame).
+    pub(crate) fn new(n: usize, warmup: usize) -> ReportBuilder {
+        // Symmetric trim: `warmup` frames of pipeline fill at the head
+        // AND `warmup` frames of drain at the tail (cool-down frames
+        // finish faster than steady state once upstream pressure stops,
+        // and would bias the interval low). Clamped so the steady-state
+        // window always keeps at least one frame.
+        let trim = warmup.min(n.saturating_sub(1) / 2);
+        ReportBuilder {
+            n,
+            lo: trim,
+            hi: n - trim,
+            recorded: 0,
+            first_arrival: 0.0,
+            max_completion: 0.0,
+            sum_latency: 0.0,
+            max_latency: 0.0,
+            sketch: Quantiles::new(),
+            win_first: 0.0,
+            win_last: 0.0,
+            fallback_latency: 0.0,
+        }
+    }
+
+    /// Streams one frame's (arrival, completion) pair. Frames must be
+    /// recorded in frame order — the engine's commit ring guarantees it
+    /// even though frames *complete* out of order.
+    pub(crate) fn record(&mut self, frame: usize, arrival: f64, completion: f64) {
+        debug_assert_eq!(frame, self.recorded, "frames must stream in order");
+        if frame == 0 {
+            self.first_arrival = arrival;
+        }
+        self.max_completion = f64::max(self.max_completion, completion);
+        if frame >= self.lo && frame < self.hi {
+            let latency = completion - arrival;
+            if frame == self.lo {
+                self.win_first = completion;
+                self.fallback_latency = latency;
+            }
+            self.win_last = completion;
+            self.sum_latency += latency;
+            self.max_latency = f64::max(self.max_latency, latency);
+            self.sketch.insert(latency);
+        }
+        self.recorded += 1;
+    }
+
+    /// Finalizes the report. `busy_time` maps each chiplet to its total
+    /// busy seconds; fractions divide by the run's **observed span**
+    /// (first arrival → last completion), so a run offset on an absolute
+    /// clock — a late drive phase — reports the same utilization as the
+    /// identical run starting at t = 0.
+    pub(crate) fn finish(self, busy_time: &BTreeMap<ChipletId, f64>) -> SimReport {
+        // A zero-frame run measures nothing; report zeros.
+        if self.n == 0 {
+            return SimReport {
+                steady_interval: Seconds::ZERO,
+                mean_latency: Seconds::ZERO,
+                max_latency: Seconds::ZERO,
+                tails: LatencyQuantiles::ZERO,
+                throughput_fps: 0.0,
+                measured_frames: 0,
+                busy: busy_time.keys().map(|&c| (c, 0.0)).collect(),
+            };
+        }
+        debug_assert_eq!(self.recorded, self.n, "every frame must be recorded");
+        let window_len = self.hi - self.lo;
+
+        let steady_interval = if window_len >= 2 {
+            Seconds::new((self.win_last - self.win_first) / (window_len - 1) as f64)
+        } else {
+            // One-frame window: fall back to that frame's service time.
+            Seconds::new(self.fallback_latency)
+        };
+
+        let mean_latency = Seconds::new(self.sum_latency / window_len.max(1) as f64);
+        let tails = LatencyQuantiles::from_stream(&self.sketch);
+
+        let span = self.max_completion - self.first_arrival;
+        let busy = busy_time
+            .iter()
+            .map(|(&c, &b)| (c, if span > 0.0 { b / span } else { 0.0 }))
+            .collect();
+
+        SimReport {
+            steady_interval,
+            mean_latency,
+            max_latency: Seconds::new(self.max_latency),
+            tails,
+            throughput_fps: if steady_interval.is_zero() {
+                0.0
+            } else {
+                1.0 / steady_interval.as_secs()
+            },
+            measured_frames: window_len,
+            busy,
+        }
     }
 }
 

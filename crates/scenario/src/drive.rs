@@ -171,13 +171,23 @@ impl Drive {
     /// urban traffic (jittered arrivals + an extra detector head), then
     /// degraded operation after losing three cameras.
     pub fn cruise_urban_degraded() -> Drive {
+        Drive::cruise_urban_degraded_scaled(Seconds::new(1.0))
+    }
+
+    /// [`cruise_urban_degraded`](Drive::cruise_urban_degraded) with each
+    /// leg stretched to `leg` seconds: the same mode sequence at highway
+    /// scale. The long-timeline workbench (`repro drive-long`) and the
+    /// `des_engine` bench run minutes-long legs through this — with the
+    /// ISSUE 8 engine a segment's cost no longer scales with the frames
+    /// it holds in memory, only with the events it processes.
+    pub fn cruise_urban_degraded_scaled(leg: Seconds) -> Drive {
         let rig = CameraRig::octa_ring();
         Drive::new(
             "cruise-urban-degraded",
             vec![
                 DriveSegment::new(
                     Scenario::new("highway-cruise", rig, OperatingMode::HighwayCruise),
-                    Seconds::new(1.0),
+                    leg,
                 ),
                 DriveSegment::new(
                     Scenario::new(
@@ -188,7 +198,7 @@ impl Drive {
                             seed: 11,
                         },
                     ),
-                    Seconds::new(1.0),
+                    leg,
                 ),
                 DriveSegment::new(
                     Scenario::new(
@@ -196,7 +206,7 @@ impl Drive {
                         rig,
                         OperatingMode::DegradedDropout { lost_cameras: 3 },
                     ),
-                    Seconds::new(1.0),
+                    leg,
                 ),
             ],
         )

@@ -49,4 +49,6 @@ pub use drive::{
 };
 pub use rig::CameraRig;
 pub use scenario::{OperatingMode, Scenario};
-pub use sweep::{evaluate_point, match_scenario, scenario_sweep, ScenarioPoint, SWEEP_FRAMES};
+pub use sweep::{
+    evaluate_point, match_scenario, scenario_sweep, ScenarioPoint, SWEEP_FRAMES, TAIL_SWEEP_FRAMES,
+};

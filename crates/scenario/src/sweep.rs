@@ -71,8 +71,15 @@ impl TailLatency for ScenarioPoint {
 
 /// Frames the DES pushes through each grid point. Long enough that the
 /// trimmed steady-state window spans several bursts/trace cycles of the
-/// built-in families.
+/// built-in families. The golden artifacts are pinned at this length;
+/// tail-resolving contexts use [`TAIL_SWEEP_FRAMES`] instead.
 pub const SWEEP_FRAMES: usize = 24;
+
+/// Frames for percentile-resolving sweeps: with the ISSUE 8 engine a
+/// long window is cheap, and 512 frames (the exact capacity of the
+/// `Quantiles` sketch) gives p99 a real rank — 16 measured frames
+/// collapse every upper tail onto the window maximum.
+pub const TAIL_SWEEP_FRAMES: usize = 512;
 
 /// Evaluates every scenario on every package.
 ///

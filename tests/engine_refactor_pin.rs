@@ -1,0 +1,299 @@
+//! Refactor pin for the ISSUE 8 DES hot-path rebuild.
+//!
+//! The rebuilt engine (bounded in-flight frame pool, lazy arrival
+//! cursor, dense chiplet state, streamed report) must be **bit-identical
+//! in every observable statistic** to the old materialize-everything
+//! engine. This suite keeps an in-test reference implementation of the
+//! old O(frames × items) algorithm and replays all seven built-in
+//! scenario families through both, comparing each `SimReport` field —
+//! including the tail percentiles — by bit pattern, at `--jobs 1` and
+//! `--jobs 8`. A million-frame saturated smoke then pins the new memory
+//! bound: the run completes with a handful of pool slots, not a slot per
+//! frame.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use npu_maestro::FittedMaestro;
+use npu_mcm::{ChipletId, McmPackage};
+use npu_pipesim::{
+    simulate, simulate_with_stats, LatencyQuantiles, Quantiles, SimConfig, SimReport,
+};
+use npu_scenario::{match_scenario, Scenario, SWEEP_FRAMES};
+use npu_sched::{flatten_items, LayerPlan, ModelPlan, Schedule, SimItem, StagePlan};
+use npu_tensor::Dtype;
+
+/// Raw outcome of the reference pass: exactly what the old engine
+/// materialized before ISSUE 8.
+struct RefRun {
+    arrivals: Vec<f64>,
+    completions: Vec<f64>,
+    busy: BTreeMap<ChipletId, f64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RefJob {
+    frame: usize,
+    item: usize,
+}
+
+enum RefEvent {
+    Arrival(usize),
+    Done { chiplet: ChipletId, job: RefJob },
+}
+
+/// The pre-ISSUE-8 engine, verbatim in structure: all arrivals heaped
+/// upfront (seq order = frame order, below every completion seq), a
+/// per-frame O(items) dependency-counter table, `BTreeMap`-keyed chiplet
+/// state, and full arrival/completion vectors.
+fn reference_run(items: &[SimItem], times: &[f64]) -> RefRun {
+    let frames = times.len();
+    let n_items = items.len();
+
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_items];
+    for (i, item) in items.iter().enumerate() {
+        for &d in &item.deps {
+            dependents[d].push(i);
+        }
+    }
+    let mut deps_left: Vec<Vec<usize>> = (0..frames)
+        .map(|_| items.iter().map(|it| it.deps.len()).collect())
+        .collect();
+    let mut remaining: Vec<usize> = vec![n_items; frames];
+
+    let mut ready: BTreeMap<ChipletId, BinaryHeap<std::cmp::Reverse<RefJob>>> = BTreeMap::new();
+    let mut busy_until: BTreeMap<ChipletId, f64> = BTreeMap::new();
+    let mut busy_time: BTreeMap<ChipletId, f64> = BTreeMap::new();
+    for item in items {
+        ready.entry(item.chiplet).or_default();
+        busy_time.entry(item.chiplet).or_insert(0.0);
+    }
+
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    // Events are stored out-of-band so the heap key stays `Ord`:
+    // (time bits via total order, seq, event index).
+    let mut events: Vec<RefEvent> = Vec::new();
+    let mut seq = 0u64;
+    let key = |t: f64, seq: u64, idx: usize| {
+        // f64 total-order bits: flip sign bit for positives, all bits
+        // for negatives — same order as `total_cmp`.
+        let b = t.to_bits();
+        let ord = if b >> 63 == 0 { b | (1 << 63) } else { !b };
+        std::cmp::Reverse((ord, seq, idx))
+    };
+    for (f, &t) in times.iter().enumerate() {
+        seq += 1;
+        events.push(RefEvent::Arrival(f));
+        heap.push(key(t, seq, events.len() - 1));
+    }
+    let mut event_time: Vec<f64> = times.to_vec();
+
+    let mut arrivals = vec![0.0; frames];
+    let mut completions = vec![f64::NAN; frames];
+
+    macro_rules! dispatch {
+        ($chiplet:expr, $now:expr) => {{
+            let c = $chiplet;
+            let now = $now;
+            if busy_until.get(&c).copied().unwrap_or(0.0) <= now {
+                if let Some(std::cmp::Reverse(job)) = ready.get_mut(&c).and_then(|q| q.pop()) {
+                    let dur = items[job.item].duration.as_secs();
+                    busy_until.insert(c, now + dur);
+                    *busy_time.get_mut(&c).unwrap() += dur;
+                    seq += 1;
+                    events.push(RefEvent::Done { chiplet: c, job });
+                    event_time.push(now + dur);
+                    heap.push(key(now + dur, seq, events.len() - 1));
+                }
+            }
+        }};
+    }
+    macro_rules! enqueue {
+        ($job:expr, $now:expr) => {{
+            let job: RefJob = $job;
+            let c = items[job.item].chiplet;
+            ready.get_mut(&c).unwrap().push(std::cmp::Reverse(job));
+            dispatch!(c, $now);
+        }};
+    }
+
+    while let Some(std::cmp::Reverse((_, _, idx))) = heap.pop() {
+        let time = event_time[idx];
+        match events[idx] {
+            RefEvent::Arrival(frame) => {
+                arrivals[frame] = time;
+                for (i, item) in items.iter().enumerate() {
+                    if item.deps.is_empty() {
+                        enqueue!(RefJob { frame, item: i }, time);
+                    }
+                }
+            }
+            RefEvent::Done { chiplet, job } => {
+                remaining[job.frame] -= 1;
+                if remaining[job.frame] == 0 {
+                    completions[job.frame] = time;
+                }
+                for &succ in &dependents[job.item] {
+                    deps_left[job.frame][succ] -= 1;
+                    if deps_left[job.frame][succ] == 0 {
+                        enqueue!(
+                            RefJob {
+                                frame: job.frame,
+                                item: succ,
+                            },
+                            time
+                        );
+                    }
+                }
+                dispatch!(chiplet, time);
+            }
+        }
+    }
+
+    assert!(remaining.iter().all(|&r| r == 0), "all frames completed");
+    RefRun {
+        arrivals,
+        completions,
+        busy: busy_time,
+    }
+}
+
+/// Replays the old report math over the reference run and compares every
+/// observable `SimReport` field to the engine's, bit for bit.
+fn assert_matches_reference(what: &str, rep: &SimReport, run: &RefRun, warmup: usize) {
+    let n = run.completions.len();
+    let trim = warmup.min(n.saturating_sub(1) / 2);
+    let (lo, hi) = (trim, n - trim);
+    let len = hi - lo;
+    let lat = |i: usize| run.completions[i] - run.arrivals[i];
+
+    let steady = if len >= 2 {
+        (run.completions[hi - 1] - run.completions[lo]) / (len - 1) as f64
+    } else {
+        lat(lo)
+    };
+    let mean: f64 = (lo..hi).map(lat).sum::<f64>() / len as f64;
+    let max: f64 = (lo..hi).map(lat).fold(0.0, f64::max);
+    let mut sketch = Quantiles::new();
+    for i in lo..hi {
+        sketch.insert(lat(i));
+    }
+    let tails = LatencyQuantiles::from_stream(&sketch);
+
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(rep.measured_frames, len, "{what}: measured_frames");
+    assert_eq!(
+        bits(rep.steady_interval.as_secs()),
+        bits(steady),
+        "{what}: steady_interval"
+    );
+    assert_eq!(
+        bits(rep.mean_latency.as_secs()),
+        bits(mean),
+        "{what}: mean_latency"
+    );
+    assert_eq!(
+        bits(rep.max_latency.as_secs()),
+        bits(max),
+        "{what}: max_latency"
+    );
+    for (label, got, want) in [
+        ("p50", rep.tails.p50, tails.p50),
+        ("p95", rep.tails.p95, tails.p95),
+        ("p99", rep.tails.p99, tails.p99),
+        ("p99.9", rep.tails.p999, tails.p999),
+    ] {
+        assert_eq!(
+            bits(got.as_secs()),
+            bits(want.as_secs()),
+            "{what}: tail {label}"
+        );
+    }
+    assert_eq!(
+        bits(rep.throughput_fps),
+        bits(if steady == 0.0 { 0.0 } else { 1.0 / steady }),
+        "{what}: throughput"
+    );
+    let span = run.completions.iter().fold(0.0, |a, &c| f64::max(a, c)) - run.arrivals[0];
+    for (&c, &b) in &run.busy {
+        let want = if span > 0.0 { b / span } else { 0.0 };
+        assert_eq!(
+            bits(rep.busy_fraction(c).expect("chiplet hosted work")),
+            bits(want),
+            "{what}: busy fraction of {c:?}"
+        );
+    }
+}
+
+/// Every built-in scenario family, matched and simulated on the paper's
+/// 6×6 package, produces a bit-identical report from the rebuilt engine
+/// — at one worker and at eight.
+#[test]
+fn all_scenario_families_pin_the_old_engine_bit_for_bit() {
+    let model = FittedMaestro::new();
+    let pkg = McmPackage::simba_6x6();
+    for scenario in Scenario::builtin() {
+        let outcome = match_scenario(&scenario, &pkg, &model);
+        let cfg = scenario.sim_config(SWEEP_FRAMES);
+        let items = flatten_items(&outcome.schedule, &pkg, &model, cfg.dtype);
+        let times = cfg.arrivals.times(cfg.frames);
+        let reference = reference_run(&items, &times);
+        for jobs in [1, 8] {
+            let rep = npu_par::with_jobs(jobs, || simulate(&outcome.schedule, &pkg, &model, &cfg));
+            assert_matches_reference(
+                &format!("{} (jobs {jobs})", scenario.name),
+                &rep,
+                &reference,
+                cfg.warmup,
+            );
+        }
+    }
+}
+
+/// A million saturated frames through a two-chiplet pipeline: the run
+/// completes, the statistics stay sane, and the in-flight pool's
+/// high-water mark is a handful of slots — the O(items × in-flight)
+/// memory bound, three orders of magnitude under one-slot-per-frame.
+#[test]
+fn million_frame_saturated_run_keeps_the_pool_bounded() {
+    use npu_dnn::models::attention::{fusion_block, FusionConfig};
+    use npu_dnn::StageKind;
+
+    let g = fusion_block(&FusionConfig::spatial_default());
+    let pkg = McmPackage::simba_6x6();
+    let model = FittedMaestro::new();
+    // Heavy trunk on chiplet 0 (the entry bottleneck), cheap output
+    // compression on chiplet 1: frames drain as fast as they clear the
+    // trunk, so in-flight occupancy is the pipeline depth, not the
+    // frame backlog.
+    let mut mp = ModelPlan::on_single_chiplet("s", g.clone(), ChipletId(0));
+    let out = g.find("s_fuse.compress").expect("fusion block compresses");
+    *mp.layer_plan_mut(out) = LayerPlan::single(g.layer(out).clone(), ChipletId(1));
+    let schedule = Schedule {
+        stages: vec![StagePlan {
+            kind: StageKind::SpatialFusion,
+            models: vec![mp],
+            region: vec![ChipletId(0), ChipletId(1)],
+        }],
+    };
+
+    let frames = 1_000_000;
+    let (rep, stats) = simulate_with_stats(&schedule, &pkg, &model, &SimConfig::saturated(frames));
+    assert_eq!(stats.frames, frames);
+    assert!(
+        stats.peak_in_flight < 16,
+        "pool must stay bounded by pipelining depth, got {} slots",
+        stats.peak_in_flight
+    );
+    assert_eq!(rep.measured_frames, frames - 2 * 4);
+    assert!(rep.steady_interval.as_secs() > 0.0);
+    assert!(rep.tails.p50 <= rep.tails.p999);
+    assert!(rep.busy_fraction(ChipletId(0)).unwrap() > 0.9, "saturated");
+}
+
+/// The `Dtype` import is part of the pinned surface: the reference and
+/// the engine must flatten with the same accounting datatype.
+#[test]
+fn sim_config_dtype_matches_flatten_default() {
+    let cfg = SimConfig::saturated(4);
+    assert_eq!(cfg.dtype, Dtype::Fp16);
+}

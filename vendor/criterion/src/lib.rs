@@ -7,7 +7,9 @@
 //! then `sample_size` timed samples, and prints the median. No
 //! statistics, plotting or baseline storage; set the
 //! `CRITERION_SAMPLE_SIZE` environment variable to override the default
-//! of 10 samples.
+//! of 10 samples, or pass `--test` (`cargo bench … -- --test`) to run
+//! each benchmark a single time as a CI smoke check, like the real
+//! harness's test mode.
 
 use std::time::{Duration, Instant};
 
@@ -16,16 +18,27 @@ pub use std::hint::black_box;
 /// Entry point handed to benchmark functions.
 pub struct Criterion {
     sample_size: usize,
+    /// `--test` smoke mode: one sample per benchmark, and group-level
+    /// sample-size overrides are ignored, mirroring the real harness.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(10usize)
-            .max(1);
-        Criterion { sample_size }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        let sample_size = if test_mode {
+            1
+        } else {
+            std::env::var("CRITERION_SAMPLE_SIZE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10usize)
+                .max(1)
+        };
+        Criterion {
+            sample_size,
+            test_mode,
+        }
     }
 }
 
@@ -44,6 +57,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _parent: self,
         }
     }
@@ -53,13 +67,17 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the number of timed samples for this group.
+    /// Overrides the number of timed samples for this group. A no-op in
+    /// `--test` smoke mode, where every benchmark runs exactly once.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -143,7 +161,8 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // `cargo bench`/`cargo test` pass harness flags such as
-            // `--bench`; this minimal runner ignores them.
+            // `--bench`; this minimal runner ignores all of them except
+            // `--test`, which switches to one-sample smoke mode.
             $($group();)+
         }
     };
@@ -153,9 +172,16 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn criterion(sample_size: usize, test_mode: bool) -> Criterion {
+        Criterion {
+            sample_size,
+            test_mode,
+        }
+    }
+
     #[test]
     fn bench_function_runs_closure() {
-        let mut c = Criterion { sample_size: 3 };
+        let mut c = criterion(3, false);
         let mut runs = 0usize;
         c.bench_function("counts", |b| b.iter(|| runs += 1));
         // 1 warm-up + 3 samples.
@@ -164,12 +190,26 @@ mod tests {
 
     #[test]
     fn group_sample_size_has_floor_of_one() {
-        let mut c = Criterion { sample_size: 5 };
+        let mut c = criterion(5, false);
         let mut g = c.benchmark_group("g");
         g.sample_size(0);
         let mut runs = 0usize;
         g.bench_function("x", |b| b.iter(|| runs += 1));
         g.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_ignores_group_sample_size() {
+        let mut c = criterion(1, true);
+        let mut g = c.benchmark_group("g");
+        // Benches routinely pin their own sample size; smoke mode must
+        // still win or CI pays the full measurement run.
+        g.sample_size(10);
+        let mut runs = 0usize;
+        g.bench_function("x", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 1 sample.
         assert_eq!(runs, 2);
     }
 }
