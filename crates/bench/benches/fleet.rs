@@ -1,0 +1,59 @@
+//! Benchmarks of the multi-tenant fleet layer's hot paths: one
+//! co-scheduled admission (partition compile + shared-calendar DES
+//! verification), first-fit fleet packing with the failed-shape memo,
+//! and a full preemption event (two DES epochs + rematch accounting).
+//! These bound what `repro fleet` pays per vehicle as fleets grow;
+//! medians are recorded in `BENCH_fleet.json` — append one entry per PR
+//! that touches the admission or preemption paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use npu_fleet::{
+    os256_package, pack_fleet, preemption_event, CoScheduler, FleetSpec, VehicleProfile,
+};
+use npu_maestro::{FittedMaestro, ReconfigModel};
+
+fn bench(c: &mut Criterion) {
+    let model = FittedMaestro::new();
+    let catalog = VehicleProfile::catalog();
+    let profile = |name: &str| catalog.iter().find(|p| p.name == name).expect("profile");
+
+    // One admission: two best-effort miners on the paper's 6x6 geometry
+    // (the pair the preemption demo starts from). Covers the D'Hondt
+    // partition, two band matches and one two-tenant DES verification.
+    let pair = vec![profile("mining").vehicle(1), profile("mining").vehicle(2)];
+    c.bench_function("fleet_admit_pair_6x6", |b| {
+        b.iter(|| {
+            let mut sched = CoScheduler::new(os256_package(6, 6), &model).with_verify_frames(16);
+            black_box(sched.admit(&pair).admitted())
+        })
+    });
+
+    // First-fit packing of a 16-vehicle sampled fleet: the per-vehicle
+    // instance probing that dominates `repro fleet`, failure-memoized.
+    let fleet = FleetSpec::sample(16, 2025);
+    c.bench_function("fleet_pack_16_vehicles_6x6", |b| {
+        b.iter(|| {
+            black_box(pack_fleet(&fleet.vehicles, &os256_package(6, 6), &model, 16).admitted())
+        })
+    });
+
+    // A preemption event end-to-end: epoch-1 DES, re-partition under
+    // the safety arrival, per-tenant rematch costs, epoch-2 DES.
+    let arriving = profile("av-cruise").vehicle(0);
+    let reconfig = ReconfigModel::default();
+    c.bench_function("fleet_preemption_event_8x6", |b| {
+        b.iter(|| {
+            let mut sched = CoScheduler::new(os256_package(8, 6), &model);
+            black_box(
+                preemption_event(&mut sched, &pair, &arriving, 6.0, 32, &reconfig)
+                    .expect("partition exists")
+                    .tenants
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! repro fig3        # one artifact (fig3, fig4, fig5..fig8 (alias fig5to8),
 //!                   # fig9, fig10, fig11, table1, table2, table3,
 //!                   # ablations, sweeps, scenarios, scenario-dse, drive,
-//!                   # tails, lint)
+//!                   # tails, fleet, lint)
 //! repro --list      # print the artifact registry (names + aliases)
 //! repro --json ...  # machine-readable, one JSON document per artifact
 //! repro --jobs N .. # worker threads for the sweep grids (default: all
@@ -214,6 +214,19 @@ impl Artifact for Tails {
     }
 }
 
+struct Fleet;
+impl Artifact for Fleet {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fleet-dse", "tenants"]
+    }
+    fn run(&self) -> Box<dyn Render> {
+        Box::new(npu_experiments::fleet::run())
+    }
+}
+
 struct Lint;
 impl Artifact for Lint {
     fn name(&self) -> &'static str {
@@ -230,7 +243,7 @@ impl Artifact for Lint {
 /// The single registry every other list derives from: the JSON `all`
 /// expansion, name lookup (with aliases), `--list` and the
 /// error-message listing.
-static ARTIFACTS: [&dyn Artifact; 17] = [
+static ARTIFACTS: [&dyn Artifact; 18] = [
     &Fig3,
     &Fig4,
     &Fig5to8,
@@ -247,6 +260,7 @@ static ARTIFACTS: [&dyn Artifact; 17] = [
     &DriveTimelines,
     &DriveLongTimeline,
     &Tails,
+    &Fleet,
     &Lint,
 ];
 
@@ -433,6 +447,9 @@ mod tests {
         }
         for alias in ["lints", "check"] {
             assert_eq!(find(alias).unwrap().name(), "lint");
+        }
+        for alias in ["fleet-dse", "tenants"] {
+            assert_eq!(find(alias).unwrap().name(), "fleet");
         }
     }
 

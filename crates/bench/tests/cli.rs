@@ -62,7 +62,7 @@ fn json_all_emits_one_document_per_artifact() {
     // Concatenated pretty-printed documents: one per artifact, each
     // opening at column 0.
     let docs = stdout.matches("\n{\n").count() + usize::from(stdout.starts_with('{'));
-    assert_eq!(docs, 17, "expected 17 JSON documents:\n{stdout}");
+    assert_eq!(docs, 18, "expected 18 JSON documents:\n{stdout}");
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn list_prints_the_registry_one_artifact_per_line() {
     assert!(out.status.success(), "repro --list failed");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 17, "one line per artifact:\n{stdout}");
+    assert_eq!(lines.len(), 18, "one line per artifact:\n{stdout}");
     assert_eq!(lines[0], "fig3");
     assert!(
         lines.contains(&"fig5to8 (aliases: fig5, fig6, fig7, fig8)"),
@@ -93,6 +93,10 @@ fn list_prints_the_registry_one_artifact_per_line() {
         lines.contains(&"tails (aliases: tail, tail-latency)"),
         "{stdout}"
     );
+    assert!(
+        lines.contains(&"fleet (aliases: fleet-dse, tenants)"),
+        "{stdout}"
+    );
     assert!(lines.contains(&"lint (aliases: lints, check)"), "{stdout}");
 }
 
@@ -104,7 +108,7 @@ fn list_json_emits_a_json_array() {
         let stdout = String::from_utf8(out.stdout).unwrap();
         let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
         let entries = value.as_array().expect("a top-level JSON array");
-        assert_eq!(entries.len(), 17);
+        assert_eq!(entries.len(), 18);
         let names: Vec<&str> = entries
             .iter()
             .map(|e| e.get("name").and_then(|v| v.as_str()).unwrap())
@@ -199,6 +203,36 @@ fn tails_artifact_reports_percentiles_and_the_winner_shift() {
     let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
     let obj = value.as_object().expect("a top-level JSON object");
     for key in ["cheapest_tail", "family_winners"] {
+        assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {stdout}");
+    }
+}
+
+/// `repro fleet` packs a 100+ vehicle fleet onto 3+ package
+/// configurations, names the cheapest feasible mix, and shows the
+/// priority-preemption event (ISSUE 9).
+#[test]
+fn fleet_artifact_reports_the_package_mix_and_preemption() {
+    let out = repro(&["--jobs", "2", "fleet"]);
+    assert!(out.status.success(), "repro fleet failed");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("Fleet package-mix DSE - 120 vehicles"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("cheapest feasible uniform pool"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("mixed pool"), "{stdout}");
+    assert!(stdout.contains("Priority preemption"), "{stdout}");
+
+    // JSON mode carries the typed schema, aliases resolve.
+    let json = repro(&["--json", "fleet-dse"]);
+    assert!(json.status.success(), "repro --json fleet-dse failed");
+    let stdout = String::from_utf8(json.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    let obj = value.as_object().expect("a top-level JSON object");
+    for key in ["cheapest_feasible", "configs", "mixed", "preemption"] {
         assert!(obj.iter().any(|(k, _)| k == key), "missing {key}: {stdout}");
     }
 }

@@ -117,6 +117,16 @@ fn tails_json_matches_golden() {
     check_golden("tails");
 }
 
+/// The fleet serving DSE: the new artifact of ISSUE 9. Pinning it
+/// byte-for-byte pins the sampled fleet, every uniform pool's packing
+/// (instances, admissions, typed rejections, per-class p99s), the
+/// cheapest-feasible selection, the mixed-pool comparison and the full
+/// preemption trajectory — all independent of the worker count.
+#[test]
+fn fleet_json_matches_golden() {
+    check_golden("fleet");
+}
+
 /// The static-analysis report: the new artifact of ISSUE 7. Pinning it
 /// byte-for-byte pins the rule table, the zero-findings state and the
 /// audited allow inventory — a new hazard or a new suppression shows up

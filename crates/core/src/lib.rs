@@ -32,11 +32,13 @@
 //! | [`pipesim`] | discrete-event validation simulator |
 //! | [`scenario`] | driving scenarios & drive timelines: rigs, modes, mode switching |
 //! | [`study`] | unified sweep/DSE query surface (axes, grids, objectives) |
+//! | [`fleet`] | multi-tenant co-scheduling, admission control, fleet-scale DSE |
 //! | [`experiments`] | every paper table & figure, regenerated |
 //! | [`par`] | scoped-thread parallel sweep executor (`par_map`) |
 
 pub use npu_dnn as dnn;
 pub use npu_experiments as experiments;
+pub use npu_fleet as fleet;
 pub use npu_maestro as maestro;
 pub use npu_mcm as mcm;
 pub use npu_noc as noc;

@@ -23,6 +23,7 @@
 //! | Drive timelines (online mode switching, re-match + drops) | [`drive`] |
 //! | Long drive timeline (minute-scale legs, tail resolution) | [`drive_long`] |
 //! | Tail-latency DSE (p99 SLO vs mean package choice) | [`tails`] |
+//! | Fleet serving DSE (multi-tenant package mix, preemption) | [`fleet`] |
 //! | Static analysis (determinism & panic-safety lint report) | [`lint`] |
 //!
 //! # Examples
@@ -43,6 +44,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5to8;
 pub mod fig9;
+pub mod fleet;
 pub mod lint;
 pub mod scenario_dse;
 pub mod scenarios;
@@ -61,7 +63,7 @@ pub use text::TextTable;
 /// concatenated in the paper's section order — the rendered report is
 /// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let sections: [fn() -> String; 17] = [
+    let sections: [fn() -> String; 18] = [
         || fig3::run().to_string(),
         || fig4::run().to_string(),
         || fig5to8::run().to_string(),
@@ -78,6 +80,7 @@ pub fn run_all() -> String {
         || drive::run().to_string(),
         || drive_long::run().to_string(),
         || tails::run().to_string(),
+        || fleet::run().to_string(),
         || lint::run().to_string(),
     ];
     npu_par::par_map(&sections, |section| section()).concat()

@@ -1,0 +1,564 @@
+//! Region partitioning and co-scheduling: N tenants sharing one
+//! package.
+//!
+//! The co-scheduler partitions a package's chiplet mesh into contiguous
+//! **column bands**, one per tenant, sized by priority-boosted compute
+//! demand under a deterministic divisor apportionment (D'Hondt with
+//! first-index tie-break). Each tenant's workload is then matched onto
+//! its band in isolation — a band is an isometric sub-mesh, so the
+//! matched schedule translates chiplet-for-chiplet onto the full
+//! package — and all tenants are verified together in **one**
+//! shared-calendar DES run ([`npu_pipesim::simulate_tenants`]).
+//!
+//! Admission is deterministic and two-staged: an analytic feasibility
+//! screen (the matcher's predicted steady interval against each trial
+//! tenant's mean target) rejects hopeless colocations cheaply, then the
+//! DES verifies every tenant's mean *and* p99 SLO on the trial
+//! partition. Candidates are processed in canonical (priority, name)
+//! order, so the outcome is invariant under permutation of the input.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_maestro::CostModel;
+use npu_mcm::{ChipletId, McmPackage};
+use npu_noc::Mesh2d;
+use npu_pipesim::{simulate_tenants, PhaseReport, SimConfig, TenantStream};
+use npu_sched::{MatcherConfig, Schedule, ThroughputMatcher};
+use npu_tensor::{Dtype, Seconds};
+
+use crate::tenant::{canonical_order, RejectReason, Tenant};
+
+/// Frames per tenant in the admission DES verification: long enough to
+/// resolve queueing tails on the trimmed window, short enough that
+/// packing hundreds of vehicles stays interactive.
+pub const VERIFY_FRAMES: usize = 64;
+
+/// A contiguous column band `[lo, hi)` of the package mesh: one
+/// tenant's chiplet region. Column bands are isometric sub-meshes —
+/// translating `(x, y) → (x + lo, y)` preserves every hop distance — so
+/// a schedule matched on the band behaves identically when flattened
+/// onto the full package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First mesh column of the band (inclusive).
+    pub lo: u32,
+    /// One past the last column.
+    pub hi: u32,
+}
+
+impl Region {
+    /// Columns in the band.
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// The band's chiplets on the full mesh, ascending id order.
+    pub fn chiplets(&self, mesh: Mesh2d) -> Vec<ChipletId> {
+        let mut out = Vec::with_capacity((self.width() * mesh.height()) as usize);
+        for y in 0..mesh.height() {
+            for x in self.lo..self.hi {
+                out.push(ChipletId(y * mesh.width() + x));
+            }
+        }
+        out
+    }
+}
+
+/// Apportions `total_cols` mesh columns over positive demand weights,
+/// at least one column each: start everyone at one column, then hand
+/// the remaining columns one at a time to the tenant with the highest
+/// per-column demand (D'Hondt divisor method, strict `>` so ties keep
+/// the first index — deterministic). Returns `None` when there are more
+/// tenants than columns.
+pub fn apportion_columns(weights: &[f64], total_cols: u32) -> Option<Vec<u32>> {
+    let k = weights.len();
+    if k == 0 || k as u32 > total_cols {
+        return None;
+    }
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "demand weights must be positive"
+    );
+    let mut cols = vec![1u32; k];
+    for _ in 0..total_cols - k as u32 {
+        let mut best = 0;
+        let mut best_score = weights[0] / cols[0] as f64;
+        for (i, &w) in weights.iter().enumerate().skip(1) {
+            let score = w / cols[i] as f64;
+            if score > best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        cols[best] += 1;
+    }
+    Some(cols)
+}
+
+/// One tenant's compiled placement in a colocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPlacement {
+    /// The tenant.
+    pub tenant: Tenant,
+    /// Its column band.
+    pub region: Region,
+    /// Its schedule, in **full-package** chiplet ids.
+    pub schedule: Schedule,
+    /// The matcher's analytic pipelining latency on the band.
+    pub predicted_pipe: Seconds,
+}
+
+/// A compiled colocation: every tenant placed on its band, in canonical
+/// (priority, name) order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Colocation {
+    /// Placements in canonical tenant order.
+    pub placements: Vec<TenantPlacement>,
+}
+
+impl Colocation {
+    /// Looks a tenant's placement up by name.
+    pub fn placement(&self, name: &str) -> Option<&TenantPlacement> {
+        self.placements.iter().find(|p| p.tenant.name == name)
+    }
+}
+
+/// The result of running deterministic admission control over a set of
+/// candidate tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// The final colocation of all admitted tenants.
+    pub colocation: Colocation,
+    /// The final DES verification reports, aligned with
+    /// `colocation.placements`.
+    pub reports: Vec<PhaseReport>,
+    /// Tenants turned away, in the order they were considered, each
+    /// with its typed reason.
+    pub rejected: Vec<(Tenant, RejectReason)>,
+}
+
+impl AdmissionOutcome {
+    /// Admitted tenant count.
+    pub fn admitted(&self) -> usize {
+        self.colocation.placements.len()
+    }
+}
+
+/// The co-scheduler: one package, one cost model, and a memo of matched
+/// band schedules so re-partitioning (admission trials, preemption)
+/// never re-runs the matcher for a (workload, band width) pair it has
+/// already compiled.
+pub struct CoScheduler<'m> {
+    pkg: McmPackage,
+    model: &'m dyn CostModel,
+    verify_frames: usize,
+    /// (band width, scenario fingerprint) → (band-local schedule,
+    /// analytic pipe). Bands of equal width are identical sub-meshes on
+    /// a homogeneous package, so the match result is position-free.
+    cache: BTreeMap<(u32, String), (Schedule, Seconds)>,
+}
+
+impl<'m> CoScheduler<'m> {
+    /// Creates a co-scheduler for one package.
+    pub fn new(pkg: McmPackage, model: &'m dyn CostModel) -> CoScheduler<'m> {
+        CoScheduler {
+            pkg,
+            model,
+            verify_frames: VERIFY_FRAMES,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the admission verification window.
+    pub fn with_verify_frames(mut self, frames: usize) -> CoScheduler<'m> {
+        self.verify_frames = frames;
+        self
+    }
+
+    /// The package being co-scheduled.
+    pub fn package(&self) -> &McmPackage {
+        &self.pkg
+    }
+
+    /// The cost model driving the matcher and the DES.
+    pub fn model(&self) -> &'m dyn CostModel {
+        self.model
+    }
+
+    /// Frames per tenant in the DES verification.
+    pub fn verify_frames(&self) -> usize {
+        self.verify_frames
+    }
+
+    /// Partitions the mesh over `tenants` (which must already be in
+    /// canonical order — admission and preemption maintain that) and
+    /// matches every tenant onto its band. Fails only when there are
+    /// more tenants than mesh columns.
+    pub fn compile(&mut self, tenants: &[Tenant]) -> Result<Colocation, RejectReason> {
+        let mesh = self.pkg.mesh();
+        let weights: Vec<f64> = tenants.iter().map(Tenant::weighted_demand).collect();
+        let cols = apportion_columns(&weights, mesh.width()).ok_or(RejectReason::NoCapacity {
+            tenants: tenants.len(),
+            columns: mesh.width(),
+        })?;
+        let mut placements = Vec::with_capacity(tenants.len());
+        let mut lo = 0u32;
+        for (tenant, &width) in tenants.iter().zip(&cols) {
+            let region = Region { lo, hi: lo + width };
+            lo += width;
+            let (band_schedule, pipe) = self.band_schedule(tenant, width);
+            let schedule = translate_schedule(&band_schedule, region, mesh.width(), width);
+            placements.push(TenantPlacement {
+                tenant: tenant.clone(),
+                region,
+                schedule,
+                predicted_pipe: pipe,
+            });
+        }
+        Ok(Colocation { placements })
+    }
+
+    /// Matches a tenant's workload onto a width-`width` band, memoized
+    /// per (width, scenario). The returned schedule is in band-local
+    /// chiplet ids.
+    fn band_schedule(&mut self, tenant: &Tenant, width: u32) -> (Schedule, Seconds) {
+        let key = (width, format!("{:?}", tenant.scenario));
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let mesh = self.pkg.mesh();
+        let band = McmPackage::from_fn(
+            format!("{}/band{}", self.pkg.name(), width),
+            Mesh2d::new(width, mesh.height()),
+            |i| {
+                // Band node i = (x, y) = (i % width, i / width) maps to
+                // global column i % width (position-free: bands of one
+                // width share this package on a homogeneous mesh).
+                let (x, y) = (i % width, i / width);
+                self.pkg
+                    .chiplet(ChipletId(y * mesh.width() + x))
+                    .accelerator()
+                    .clone()
+            },
+        );
+        let cfg = MatcherConfig {
+            allow_fe_split: true,
+            ..MatcherConfig::default()
+        };
+        let outcome = ThroughputMatcher::new(self.model, cfg)
+            .match_throughput(&tenant.scenario.workload(), &band);
+        let entry = (outcome.schedule, outcome.report.pipe);
+        self.cache.insert(key, entry.clone());
+        entry
+    }
+
+    /// Verifies a colocation in one shared-calendar DES run: every
+    /// tenant serves `verify_frames` frames of its own arrival process,
+    /// all regions ready at t = 0.
+    pub fn verify(&self, colo: &Colocation) -> Vec<PhaseReport> {
+        let times: Vec<Vec<f64>> = colo
+            .placements
+            .iter()
+            .map(|p| p.tenant.scenario.arrivals().times(self.verify_frames))
+            .collect();
+        let streams: Vec<TenantStream<'_>> = colo
+            .placements
+            .iter()
+            .zip(times)
+            .map(|(p, times)| TenantStream {
+                schedule: &p.schedule,
+                times,
+                ready_at: 0.0,
+                warmup: SimConfig::default_warmup(self.verify_frames),
+            })
+            .collect();
+        simulate_tenants(&streams, &self.pkg, self.model, Dtype::Fp16)
+    }
+
+    /// Compiles and fully checks one trial colocation: analytic screen
+    /// on every trial tenant first, then the DES verification of every
+    /// tenant's mean and p99 SLO. `tenants` must be in canonical order.
+    pub fn try_colocate(
+        &mut self,
+        tenants: &[Tenant],
+    ) -> Result<(Colocation, Vec<PhaseReport>), RejectReason> {
+        let colo = self.compile(tenants)?;
+        for p in &colo.placements {
+            let predicted = p.tenant.scenario.predicted_interval(p.predicted_pipe);
+            if predicted.as_secs() > p.tenant.slo.latency_target.as_secs() {
+                return Err(RejectReason::AnalyticInfeasible {
+                    tenant: p.tenant.name.clone(),
+                    predicted,
+                    target: p.tenant.slo.latency_target,
+                });
+            }
+        }
+        let reports = self.verify(&colo);
+        if let Some(reason) = slo_violation(&colo, &reports) {
+            return Err(reason);
+        }
+        Ok((colo, reports))
+    }
+
+    /// Deterministic admission control: candidates are considered in
+    /// canonical (priority, name) order; each is admitted iff the
+    /// re-partitioned colocation passes the analytic screen and the DES
+    /// verification for **every** tenant (the candidate and all
+    /// incumbents, whose regions it shrinks). The outcome is invariant
+    /// under permutation of `candidates`.
+    pub fn admit(&mut self, candidates: &[Tenant]) -> AdmissionOutcome {
+        let mut ordered = candidates.to_vec();
+        canonical_order(&mut ordered);
+        let mut admitted: Vec<Tenant> = Vec::new();
+        let mut rejected = Vec::new();
+        let mut best: Option<(Colocation, Vec<PhaseReport>)> = None;
+        for cand in ordered {
+            let mut trial = admitted.clone();
+            trial.push(cand.clone());
+            canonical_order(&mut trial);
+            match self.try_colocate(&trial) {
+                Ok(ok) => {
+                    admitted = trial;
+                    best = Some(ok);
+                }
+                Err(reason) => rejected.push((cand, reason)),
+            }
+        }
+        let (colocation, reports) = best.unwrap_or_default();
+        AdmissionOutcome {
+            colocation,
+            reports,
+            rejected,
+        }
+    }
+}
+
+/// The first SLO violation in a verified colocation, in canonical
+/// tenant order: mean target first, then the p99 bound.
+pub fn slo_violation(colo: &Colocation, reports: &[PhaseReport]) -> Option<RejectReason> {
+    for (p, rep) in colo.placements.iter().zip(reports) {
+        let measured = rep.report.steady_interval;
+        if measured.as_secs() > p.tenant.slo.latency_target.as_secs() {
+            return Some(RejectReason::MeanSloViolated {
+                tenant: p.tenant.name.clone(),
+                measured,
+                target: p.tenant.slo.latency_target,
+            });
+        }
+        let p99 = rep.report.tails.p99;
+        if p99.as_secs() > p.tenant.slo.p99_bound.as_secs() {
+            return Some(RejectReason::TailSloViolated {
+                tenant: p.tenant.name.clone(),
+                p99,
+                bound: p.tenant.slo.p99_bound,
+            });
+        }
+    }
+    None
+}
+
+/// Rebases a band-local schedule onto the full mesh: band chiplet
+/// `(x, y)` (id `y·width + x`) becomes global chiplet
+/// `(region.lo + x, y)` (id `y·mesh_w + region.lo + x`). Column bands
+/// are isometric, so only the ids change — durations and hop counts are
+/// preserved.
+fn translate_schedule(band: &Schedule, region: Region, mesh_w: u32, width: u32) -> Schedule {
+    let map = |c: ChipletId| {
+        let (x, y) = (c.0 % width, c.0 / width);
+        ChipletId(y * mesh_w + region.lo + x)
+    };
+    let mut out = band.clone();
+    for stage in &mut out.stages {
+        for c in &mut stage.region {
+            *c = map(*c);
+        }
+        for mp in &mut stage.models {
+            for lp in &mut mp.layers {
+                for shard in &mut lp.shards {
+                    shard.chiplet = map(shard.chiplet);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::Priority;
+    use npu_maestro::FittedMaestro;
+    use npu_scenario::{CameraRig, OperatingMode, Scenario};
+
+    fn tenant(name: &str, cameras: u64, priority: Priority) -> Tenant {
+        Tenant::new(
+            name,
+            Scenario::new(
+                name,
+                CameraRig::new(cameras, (360, 640), 30.0),
+                OperatingMode::HighwayCruise,
+            ),
+            priority,
+        )
+    }
+
+    #[test]
+    fn apportionment_is_proportional_and_total() {
+        let cols = apportion_columns(&[3.0, 1.0], 8).unwrap();
+        assert_eq!(cols.iter().sum::<u32>(), 8);
+        assert_eq!(cols, vec![6, 2]);
+        // Everyone keeps at least one column even with tiny demand.
+        let cols = apportion_columns(&[100.0, 1e-6], 6).unwrap();
+        assert_eq!(cols, vec![5, 1]);
+        // More tenants than columns: no partition.
+        assert!(apportion_columns(&[1.0; 7], 6).is_none());
+        assert!(apportion_columns(&[], 6).is_none());
+        // Ties break to the first index.
+        let cols = apportion_columns(&[1.0, 1.0, 1.0], 5).unwrap();
+        assert_eq!(cols, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn regions_tile_the_mesh() {
+        let mesh = Mesh2d::new(6, 6);
+        let a = Region { lo: 0, hi: 4 };
+        let b = Region { lo: 4, hi: 6 };
+        let mut all = a.chiplets(mesh);
+        all.extend(b.chiplets(mesh));
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 36, "bands tile the mesh without overlap");
+        assert_eq!(a.chiplets(mesh)[0], ChipletId(0));
+        // Row 1 of band b starts at global id 1*6 + 4.
+        assert!(b.chiplets(mesh).contains(&ChipletId(10)));
+    }
+
+    #[test]
+    fn compile_places_tenants_on_disjoint_bands() {
+        let model = FittedMaestro::new();
+        let mut sched = CoScheduler::new(McmPackage::simba_6x6(), &model);
+        let mut tenants = vec![
+            tenant("a", 8, Priority::Safety),
+            tenant("b", 4, Priority::BestEffort),
+        ];
+        canonical_order(&mut tenants);
+        let colo = sched.compile(&tenants).unwrap();
+        assert_eq!(colo.placements.len(), 2);
+        // Bands tile left to right in canonical order.
+        assert_eq!(colo.placements[0].region.lo, 0);
+        assert_eq!(colo.placements[0].region.hi, colo.placements[1].region.lo);
+        assert_eq!(colo.placements[1].region.hi, 6);
+        // The safety tenant's boosted demand gets the wider band.
+        assert!(colo.placements[0].region.width() > colo.placements[1].region.width());
+        // Every shard lands inside its tenant's band.
+        let mesh = sched.package().mesh();
+        for p in &colo.placements {
+            let band: Vec<ChipletId> = p.region.chiplets(mesh);
+            for stage in &p.schedule.stages {
+                for mp in &stage.models {
+                    for lp in &mp.layers {
+                        for shard in &lp.shards {
+                            assert!(
+                                band.contains(&shard.chiplet),
+                                "shard on {:?} outside band {:?}",
+                                shard.chiplet,
+                                p.region
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A keyframe-rate quad-rig tenant: small enough that two of them
+    /// genuinely co-locate on one package (full 30 FPS rigs are not
+    /// tail-serveable anywhere — see the tails artifact).
+    fn quad_tenant(name: &str, priority: Priority) -> Tenant {
+        Tenant::new(
+            name,
+            Scenario::new(
+                name,
+                npu_scenario::CameraRig::new(4, (288, 512), 8.0),
+                OperatingMode::HighwayCruise,
+            ),
+            priority,
+        )
+    }
+
+    #[test]
+    fn verified_colocation_matches_slo_math() {
+        let model = FittedMaestro::new();
+        let mut sched =
+            CoScheduler::new(crate::fleet::os256_package(6, 6), &model).with_verify_frames(32);
+        // Equal class and demand: the bands split 3/3, which serves the
+        // keyframe-rate quad rig with tail headroom.
+        let mut tenants = vec![
+            quad_tenant("patrol", Priority::Standard),
+            quad_tenant("mapper", Priority::Standard),
+        ];
+        canonical_order(&mut tenants);
+        let (colo, reports) = sched.try_colocate(&tenants).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(slo_violation(&colo, &reports).is_none());
+        for rep in &reports {
+            assert_eq!(rep.dropped, 0);
+            assert_eq!(rep.offered, 32);
+        }
+    }
+
+    #[test]
+    fn admission_is_permutation_invariant() {
+        let model = FittedMaestro::new();
+        let candidates = vec![
+            tenant("octa-a", 8, Priority::Safety),
+            tenant("hexa-b", 6, Priority::Standard),
+            tenant("quad-c", 4, Priority::BestEffort),
+            tenant("octa-d", 8, Priority::BestEffort),
+        ];
+        let mut permuted = candidates.clone();
+        permuted.reverse();
+        permuted.swap(0, 2);
+        let run = |cands: &[Tenant]| {
+            CoScheduler::new(McmPackage::simba_6x6(), &model)
+                .with_verify_frames(32)
+                .admit(cands)
+        };
+        let a = run(&candidates);
+        let b = run(&permuted);
+        assert_eq!(a.colocation, b.colocation);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn admission_rejects_with_typed_reasons() {
+        let model = FittedMaestro::new();
+        // A 4x4 package cannot host five tenants on four columns — and
+        // the analytic screen catches overloaded bands first.
+        let mut sched = CoScheduler::new(
+            McmPackage::from_fn("os256-4x4", Mesh2d::new(4, 4), |_| {
+                npu_maestro::Accelerator::shidiannao_like(256)
+            }),
+            &model,
+        )
+        .with_verify_frames(32);
+        let candidates: Vec<Tenant> = (0..5)
+            .map(|i| tenant(&format!("t{i}"), 8, Priority::Standard))
+            .collect();
+        let out = sched.admit(&candidates);
+        assert!(!out.rejected.is_empty(), "4 columns cannot serve 5 octas");
+        assert!(out.admitted() + out.rejected.len() == 5);
+        for (_, reason) in &out.rejected {
+            assert!(matches!(
+                reason,
+                RejectReason::NoCapacity { .. }
+                    | RejectReason::AnalyticInfeasible { .. }
+                    | RejectReason::MeanSloViolated { .. }
+                    | RejectReason::TailSloViolated { .. }
+            ));
+        }
+    }
+}

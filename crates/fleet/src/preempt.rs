@@ -1,0 +1,383 @@
+//! Priority preemption: a high-priority tenant arrives mid-drive and
+//! the package re-partitions under it.
+//!
+//! A preemption event is simulated as two DES epochs around the arrival
+//! instant. Epoch 1 runs the incumbent colocation undisturbed. At the
+//! arrival instant the co-scheduler re-partitions with the arriving
+//! tenant included — its boosted demand weight shrinks best-effort
+//! regions first — and each tenant is charged the
+//! [`npu_sched::rematch_cost`] of migrating its region from the old
+//! mapping to the new one: until `t_arrive + transition latency` the
+//! tenant's region is reprogramming and arriving frames are dropped.
+//! Epoch 2 then runs the new colocation, arriving tenant included, on
+//! the same calendar. Frame accounting balances exactly: per tenant,
+//! `offered = served(epoch 1) + served(epoch 2) + dropped(epoch 2)`.
+
+use serde::{Deserialize, Serialize};
+
+use npu_maestro::ReconfigModel;
+use npu_pipesim::{simulate_tenants, PhaseReport, SimConfig, TenantStream};
+use npu_sched::{rematch_cost, Schedule};
+use npu_tensor::{Dtype, Seconds};
+
+use crate::colocation::{CoScheduler, Colocation};
+use crate::tenant::{canonical_order, Priority, RejectReason, Tenant};
+
+/// One tenant's trajectory across a preemption event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPhases {
+    /// The tenant's name.
+    pub name: String,
+    /// Its priority class.
+    pub priority: Priority,
+    /// Columns held before the event (0 for the arriving tenant).
+    pub columns_before: u32,
+    /// Columns held after the re-partition.
+    pub columns_after: u32,
+    /// Epoch-1 report (`None` for the arriving tenant, which does not
+    /// exist before the event).
+    pub before: Option<PhaseReport>,
+    /// Chiplets reprogrammed when migrating to the new partition.
+    pub reprogrammed: usize,
+    /// The migration's spin-up latency; the tenant's region drops
+    /// arriving frames for this long after the event.
+    pub transition: Seconds,
+    /// Epoch-2 report, on the re-partitioned region.
+    pub after: PhaseReport,
+}
+
+impl TenantPhases {
+    /// Frames offered across both epochs.
+    pub fn offered(&self) -> usize {
+        self.before.as_ref().map_or(0, |r| r.offered) + self.after.offered
+    }
+
+    /// Frames served across both epochs.
+    pub fn served(&self) -> usize {
+        self.before.as_ref().map_or(0, |r| r.served()) + self.after.served()
+    }
+
+    /// Frames dropped (all in the epoch-2 spin-up window; epoch 1
+    /// starts on a ready region).
+    pub fn dropped(&self) -> usize {
+        self.before.as_ref().map_or(0, |r| r.dropped) + self.after.dropped
+    }
+
+    /// p99 frame latency before the event (`None` for the arriver).
+    pub fn p99_before(&self) -> Option<Seconds> {
+        self.before.as_ref().map(|r| r.report.tails.p99)
+    }
+
+    /// p99 frame latency after the event.
+    pub fn p99_after(&self) -> Seconds {
+        self.after.report.tails.p99
+    }
+}
+
+/// The simulated before/after of a priority preemption event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreemptionReport {
+    /// The arrival instant (seconds on the shared calendar).
+    pub at: Seconds,
+    /// The arriving tenant's name.
+    pub arriving: String,
+    /// Every tenant's trajectory, in the canonical order of the
+    /// post-event colocation.
+    pub tenants: Vec<TenantPhases>,
+    /// The post-event colocation.
+    pub colocation: Colocation,
+}
+
+impl PreemptionReport {
+    /// A tenant's trajectory by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantPhases> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Whether every tenant balances `offered == served + dropped`
+    /// across the event.
+    pub fn balanced(&self) -> bool {
+        self.tenants
+            .iter()
+            .all(|t| t.offered() == t.served() + t.dropped())
+    }
+}
+
+/// Serializable summary of one tenant's preemption trajectory (for the
+/// `repro fleet` artifact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantPhasesSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Priority label.
+    pub priority: String,
+    /// Columns before → after.
+    pub columns_before: u32,
+    /// Columns after the re-partition.
+    pub columns_after: u32,
+    /// Chiplets reprogrammed at the event.
+    pub reprogrammed: usize,
+    /// Migration spin-up latency (ms).
+    pub transition_ms: f64,
+    /// p99 before the event (ms; absent for the arriver).
+    pub p99_before_ms: Option<f64>,
+    /// p99 after the event (ms).
+    pub p99_after_ms: f64,
+    /// p99 bound from the tenant's SLO (ms).
+    pub p99_bound_ms: f64,
+    /// Whether the tail SLO holds after the event.
+    pub slo_holds: bool,
+    /// Frames offered across both epochs.
+    pub offered: usize,
+    /// Frames served across both epochs.
+    pub served: usize,
+    /// Frames dropped in the spin-up window.
+    pub dropped: usize,
+}
+
+impl TenantPhasesSummary {
+    /// Summarizes one trajectory against its tenant's SLO.
+    pub fn new(phases: &TenantPhases, p99_bound: Seconds) -> TenantPhasesSummary {
+        TenantPhasesSummary {
+            name: phases.name.clone(),
+            priority: phases.priority.label().to_string(),
+            columns_before: phases.columns_before,
+            columns_after: phases.columns_after,
+            reprogrammed: phases.reprogrammed,
+            transition_ms: phases.transition.as_millis(),
+            p99_before_ms: phases.p99_before().map(|s| s.as_millis()),
+            p99_after_ms: phases.p99_after().as_millis(),
+            p99_bound_ms: p99_bound.as_millis(),
+            slo_holds: phases.p99_after().as_secs() <= p99_bound.as_secs(),
+            offered: phases.offered(),
+            served: phases.served(),
+            dropped: phases.dropped(),
+        }
+    }
+}
+
+/// Simulates a preemption event: `incumbents` run undisturbed until
+/// `at`, where `arriving` joins, the mesh re-partitions, and every
+/// tenant pays its region-migration latency before serving again.
+///
+/// Each incumbent offers `2 × frames_per_epoch` frames of its arrival
+/// process, split at `at` between the epochs; the arriver offers
+/// `frames_per_epoch` frames starting at `at`. Fails with the compile
+/// error if the post-event partition does not exist (more tenants than
+/// columns). SLO checks are **not** enforced here — preemption
+/// deliberately degrades best-effort tenants, and the report carries
+/// the per-tenant p99s for the caller to judge.
+pub fn preemption_event(
+    sched: &mut CoScheduler<'_>,
+    incumbents: &[Tenant],
+    arriving: &Tenant,
+    at: f64,
+    frames_per_epoch: usize,
+    reconfig: &ReconfigModel,
+) -> Result<PreemptionReport, RejectReason> {
+    assert!(
+        at.is_finite() && at > 0.0,
+        "preemption instant must be positive"
+    );
+    let mut before_tenants = incumbents.to_vec();
+    canonical_order(&mut before_tenants);
+    let colo1 = sched.compile(&before_tenants)?;
+
+    // Each incumbent's full arrival timeline, split at the event.
+    let all_times: Vec<Vec<f64>> = before_tenants
+        .iter()
+        .map(|t| t.scenario.arrivals().times(2 * frames_per_epoch))
+        .collect();
+    let splits: Vec<usize> = all_times
+        .iter()
+        .map(|times| times.partition_point(|&t| t < at))
+        .collect();
+
+    let epoch1_streams: Vec<TenantStream<'_>> = colo1
+        .placements
+        .iter()
+        .zip(all_times.iter().zip(&splits))
+        .map(|(p, (times, &split))| TenantStream {
+            schedule: &p.schedule,
+            times: times[..split].to_vec(),
+            ready_at: 0.0,
+            warmup: SimConfig::default_warmup(split),
+        })
+        .collect();
+    let epoch1 = simulate_tenants(&epoch1_streams, sched.package(), sched.model(), Dtype::Fp16);
+
+    // Re-partition with the arriver included.
+    let mut after_tenants = before_tenants.clone();
+    after_tenants.push(arriving.clone());
+    canonical_order(&mut after_tenants);
+    let colo2 = sched.compile(&after_tenants)?;
+
+    // Per-tenant migration cost: diff its old mapping (empty for the
+    // arriver) against its new one.
+    let empty = Schedule { stages: Vec::new() };
+    let transitions: Vec<(usize, Seconds)> = colo2
+        .placements
+        .iter()
+        .map(|p| {
+            let old = colo1
+                .placement(&p.tenant.name)
+                .map_or(&empty, |q| &q.schedule);
+            let diff = rematch_cost(old, &p.schedule, reconfig, Dtype::Fp16);
+            (diff.reprogrammed.len(), diff.latency)
+        })
+        .collect();
+
+    let epoch2_times: Vec<Vec<f64>> = colo2
+        .placements
+        .iter()
+        .map(|p| {
+            if p.tenant.name == arriving.name {
+                p.tenant
+                    .scenario
+                    .arrivals()
+                    .times(frames_per_epoch)
+                    .iter()
+                    .map(|t| at + t)
+                    .collect()
+            } else {
+                let i = before_tenants
+                    .iter()
+                    .position(|t| t.name == p.tenant.name)
+                    .expect("incumbent present in both colocations");
+                all_times[i][splits[i]..].to_vec()
+            }
+        })
+        .collect();
+    let epoch2_streams: Vec<TenantStream<'_>> = colo2
+        .placements
+        .iter()
+        .zip(epoch2_times.iter().zip(&transitions))
+        .map(|(p, (times, &(_, latency)))| TenantStream {
+            schedule: &p.schedule,
+            times: times.clone(),
+            ready_at: at + latency.as_secs(),
+            warmup: SimConfig::default_warmup(times.len()),
+        })
+        .collect();
+    let epoch2 = simulate_tenants(&epoch2_streams, sched.package(), sched.model(), Dtype::Fp16);
+
+    let tenants = colo2
+        .placements
+        .iter()
+        .zip(epoch2.iter().zip(&transitions))
+        .map(|(p, (after, &(reprogrammed, latency)))| {
+            let before_idx = colo1
+                .placements
+                .iter()
+                .position(|q| q.tenant.name == p.tenant.name);
+            TenantPhases {
+                name: p.tenant.name.clone(),
+                priority: p.tenant.priority,
+                columns_before: before_idx.map_or(0, |i| colo1.placements[i].region.width()),
+                columns_after: p.region.width(),
+                before: before_idx.map(|i| epoch1[i].clone()),
+                reprogrammed,
+                transition: latency,
+                after: after.clone(),
+            }
+        })
+        .collect();
+
+    Ok(PreemptionReport {
+        at: Seconds::new(at),
+        arriving: arriving.name.clone(),
+        tenants,
+        colocation: colo2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_maestro::FittedMaestro;
+    use npu_mcm::McmPackage;
+    use npu_scenario::{CameraRig, OperatingMode, Scenario};
+
+    fn tenant(name: &str, cameras: u64, priority: Priority) -> Tenant {
+        Tenant::new(
+            name,
+            Scenario::new(
+                name,
+                CameraRig::new(cameras, (360, 640), 30.0),
+                OperatingMode::HighwayCruise,
+            ),
+            priority,
+        )
+    }
+
+    fn event() -> PreemptionReport {
+        let model = FittedMaestro::new();
+        let mut sched = CoScheduler::new(McmPackage::simba_6x6(), &model);
+        let incumbents = vec![
+            tenant("ride-hail", 6, Priority::Standard),
+            tenant("mining", 6, Priority::BestEffort),
+        ];
+        let arriving = tenant("av-stack", 8, Priority::Safety);
+        preemption_event(
+            &mut sched,
+            &incumbents,
+            &arriving,
+            1.0,
+            40,
+            &ReconfigModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preemption_shrinks_best_effort_first() {
+        let report = event();
+        assert_eq!(report.tenants.len(), 3);
+        let victim = report.tenant("mining").unwrap();
+        let arriver = report.tenant("av-stack").unwrap();
+        assert!(victim.columns_after < victim.columns_before);
+        assert!(arriver.columns_before == 0 && arriver.columns_after > 0);
+        // The arriver's new region outranks the victim's shrunken one.
+        assert!(arriver.columns_after > victim.columns_after);
+    }
+
+    #[test]
+    fn transitions_are_charged_and_frames_balance() {
+        let report = event();
+        assert!(report.balanced(), "offered == served + dropped per tenant");
+        for t in &report.tenants {
+            if t.columns_before != t.columns_after {
+                assert!(
+                    t.transition.as_secs() > 0.0,
+                    "{} migrated without paying reconfiguration",
+                    t.name
+                );
+                assert!(t.reprogrammed > 0);
+            }
+        }
+        // Someone drops frames in the spin-up window.
+        let dropped: usize = report.tenants.iter().map(TenantPhases::dropped).sum();
+        assert!(dropped > 0, "spin-up windows drop arriving frames");
+    }
+
+    #[test]
+    fn victim_p99_shifts_while_arriver_is_served() {
+        let report = event();
+        let victim = report.tenant("mining").unwrap();
+        let before = victim.p99_before().unwrap();
+        let after = victim.p99_after();
+        assert!(
+            (after.as_secs() - before.as_secs()).abs() > 1e-9,
+            "preemption must change the victim's p99 ({before} vs {after})"
+        );
+        let arriver = report.tenant("av-stack").unwrap();
+        assert!(arriver.served() > 0);
+    }
+
+    #[test]
+    fn preemption_is_deterministic() {
+        let a = event();
+        let b = event();
+        assert_eq!(a, b);
+    }
+}

@@ -29,6 +29,7 @@ fn workspace_scan_covers_every_crate() {
         "crates/core/",
         "crates/dnn/",
         "crates/experiments/",
+        "crates/fleet/",
         "crates/integration/",
         "crates/lint/",
         "crates/maestro/",

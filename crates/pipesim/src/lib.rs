@@ -11,7 +11,7 @@
 //! `validate`), and `npu-scenario` compiles whole driving scenarios down
 //! to these arrival processes.
 //!
-//! Two simulation surfaces are exposed:
+//! Three simulation surfaces are exposed:
 //!
 //! * [`simulate`] — one schedule serving one arrival process (the
 //!   steady-state workbench);
@@ -19,7 +19,11 @@
 //!   [`SimPhase`] swaps in its own compiled schedule at a phase
 //!   boundary, charging a mapping spin-up window during which arriving
 //!   frames are dropped (`npu-scenario`'s `Drive` timelines compile to
-//!   this).
+//!   this);
+//! * [`simulate_tenants`] — K tenant streams ([`TenantStream`]) sharing
+//!   one event calendar, each with its own schedule, arrivals and
+//!   spin-up window, yielding one tenant-tagged report per stream
+//!   (`npu-fleet`'s co-scheduler compiles to this).
 //!
 //! Recorded camera logs load through [`Arrivals::from_csv_str`] /
 //! [`Arrivals::from_jsonl_str`] (string input only — callers do the
@@ -48,6 +52,7 @@
 
 pub mod arrivals;
 pub mod engine;
+pub mod multi;
 pub mod quantiles;
 pub mod report;
 pub mod trace;
@@ -56,6 +61,7 @@ pub use arrivals::{ArrivalSegment, Arrivals};
 pub use engine::{
     simulate, simulate_phases, simulate_with_stats, EngineStats, PhaseReport, SimConfig, SimPhase,
 };
+pub use multi::{simulate_tenants, TenantStream};
 pub use quantiles::Quantiles;
 pub use report::{LatencyQuantiles, SimReport};
 pub use trace::TraceError;

@@ -45,12 +45,16 @@ impl RematchOutcome {
 
 /// Prices the transition from `old` to `new`.
 ///
-/// A chiplet counts as re-programmed when the ordered list of shards the
+/// A chiplet counts as re-programmed when the **set** of shards the
 /// schedule assigns to it — identified by stage kind, model instance,
-/// layer and shard slice — differs between the two schedules. Re-matching
-/// a schedule onto itself is a no-op with zero latency, which is what
-/// makes a single-segment drive bit-identical to its standalone scenario
-/// run.
+/// source layer and shard slice — differs between the two schedules.
+/// The comparison is content-based: a chiplet that keeps exactly its
+/// region contents costs nothing even if the incoming schedule lists the
+/// same shards in a different order or under different slice indices
+/// (before ISSUE 9 such a chiplet was charged a full weight reload).
+/// Re-matching a schedule onto itself is a no-op with zero latency,
+/// which is what makes a single-segment drive bit-identical to its
+/// standalone scenario run.
 ///
 /// # Examples
 ///
@@ -104,22 +108,35 @@ pub fn rematch_cost(
     }
 }
 
-/// The program a schedule loads onto each chiplet: its shards in schedule
-/// order, labelled `stage/model/layer#shard` and paired with the (sliced)
-/// layer so a re-slice of the same layer still reads as a change.
+/// The program a schedule loads onto each chiplet: its shards as a
+/// canonically ordered multiset, labelled `stage/model/layer` and paired
+/// with the (sliced) layer so a re-slice of the same layer still reads
+/// as a change. The sort makes the comparison order-insensitive — two
+/// schedules assigning the same shard contents to a chiplet compare
+/// equal no matter how stage iteration or slice indexing lists them, so
+/// only genuine content changes are charged a weight reload.
 fn chiplet_programs(s: &Schedule) -> BTreeMap<ChipletId, Vec<(String, Layer)>> {
     let mut programs: BTreeMap<ChipletId, Vec<(String, Layer)>> = BTreeMap::new();
     for stage in &s.stages {
         for mp in &stage.models {
             for lp in &mp.layers {
-                for (i, shard) in lp.shards.iter().enumerate() {
+                for shard in &lp.shards {
                     programs.entry(shard.chiplet).or_default().push((
-                        format!("{}/{}/{}#{i}", stage.kind, mp.name, lp.source.name()),
+                        format!("{}/{}/{}", stage.kind, mp.name, lp.source.name()),
                         shard.layer.clone(),
                     ));
                 }
             }
         }
+    }
+    for program in programs.values_mut() {
+        // Same-label entries (several slices of one layer on one
+        // chiplet) tie-break on the sliced layer's debug rendering: a
+        // deterministic, content-complete total order.
+        program.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1)))
+        });
     }
     programs
 }
@@ -166,6 +183,120 @@ mod tests {
         // a real change, not necessarily the same size.
         let back = rematch_cost(&urban, &cruise, &ReconfigModel::default(), Dtype::Fp16);
         assert!(!back.is_noop());
+    }
+
+    /// The pre-ISSUE-9 diff: shards in schedule order, labelled with
+    /// their slice index. Used to pin the regression — the content-set
+    /// diff must never charge more than this ordered diff did.
+    fn ordered_programs(s: &Schedule) -> BTreeMap<ChipletId, Vec<(String, Layer)>> {
+        let mut programs: BTreeMap<ChipletId, Vec<(String, Layer)>> = BTreeMap::new();
+        for stage in &s.stages {
+            for mp in &stage.models {
+                for lp in &mp.layers {
+                    for (i, shard) in lp.shards.iter().enumerate() {
+                        programs.entry(shard.chiplet).or_default().push((
+                            format!("{}/{}/{}#{i}", stage.kind, mp.name, lp.source.name()),
+                            shard.layer.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        programs
+    }
+
+    fn ordered_rematch_cost(
+        old: &Schedule,
+        new: &Schedule,
+        model: &ReconfigModel,
+        dtype: Dtype,
+    ) -> RematchOutcome {
+        let before = ordered_programs(old);
+        let after = ordered_programs(new);
+        let mut reprogrammed = Vec::new();
+        let mut weight_bytes = Bytes::ZERO;
+        for (chiplet, program) in &after {
+            if before.get(chiplet) == Some(program) {
+                continue;
+            }
+            reprogrammed.push(*chiplet);
+            weight_bytes += program
+                .iter()
+                .map(|(_, layer)| layer.weight_bytes(dtype))
+                .sum::<Bytes>();
+        }
+        let latency = model.transition_latency(reprogrammed.len(), weight_bytes);
+        RematchOutcome {
+            reprogrammed,
+            weight_bytes,
+            latency,
+        }
+    }
+
+    /// Reorders a schedule's internals without changing any chiplet's
+    /// assigned contents: models within each stage reversed, shards
+    /// within each layer plan reversed.
+    fn permuted(s: &Schedule) -> Schedule {
+        let mut p = s.clone();
+        for stage in &mut p.stages {
+            stage.models.reverse();
+            for mp in &mut stage.models {
+                for lp in &mut mp.layers {
+                    lp.shards.reverse();
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn content_preserving_permutation_is_a_noop() {
+        let s = matched(8, 3);
+        let p = permuted(&s);
+        let out = rematch_cost(&s, &p, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(
+            out.is_noop(),
+            "reordered-but-identical chiplet contents must cost nothing, got {:?}",
+            out.reprogrammed
+        );
+        assert!(out.latency.is_zero());
+        // The old ordered+indexed diff charged this permutation a real
+        // reload — exactly the bug the content-set diff fixes.
+        let old = ordered_rematch_cost(&s, &p, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(
+            !old.is_noop(),
+            "test permutation must be visible to the old ordered diff"
+        );
+        assert!(old.latency > Seconds::ZERO);
+    }
+
+    #[test]
+    fn content_diff_never_exceeds_ordered_diff_on_drive_boundaries() {
+        // The builtin cruise→urban→degraded drive's mode boundaries on
+        // the paper package: the content-set diff must charge at most
+        // what the old ordered diff did, chiplet-for-chiplet.
+        let cruise = matched(8, 3);
+        let urban = matched(8, 4);
+        let degraded = matched(5, 3);
+        let model = ReconfigModel::default();
+        for (a, b) in [(&cruise, &urban), (&urban, &degraded)] {
+            let new = rematch_cost(a, b, &model, Dtype::Fp16);
+            let old = ordered_rematch_cost(a, b, &model, Dtype::Fp16);
+            assert!(
+                new.reprogrammed.len() <= old.reprogrammed.len(),
+                "content diff reprograms {} chiplets, ordered diff {}",
+                new.reprogrammed.len(),
+                old.reprogrammed.len()
+            );
+            assert!(new.weight_bytes <= old.weight_bytes);
+            assert!(new.latency <= old.latency);
+            // Every chiplet the content diff charges, the ordered diff
+            // charged too (the fix only removes false positives).
+            assert!(new
+                .reprogrammed
+                .iter()
+                .all(|c| old.reprogrammed.contains(c)));
+        }
     }
 
     #[test]

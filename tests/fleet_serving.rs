@@ -1,0 +1,108 @@
+//! Cross-crate properties of the multi-tenant fleet layer (ISSUE 9):
+//! worker-count bit-identity of the `repro fleet` artifact, admission
+//! invariance under candidate permutation, and exact vehicle/frame
+//! accounting through packing and preemption.
+
+use npu_core::fleet::{
+    os256_package, pack_fleet, preemption_event, CoScheduler, FleetSpec, Tenant, VehicleProfile,
+};
+use npu_maestro::{FittedMaestro, ReconfigModel};
+
+fn catalog_vehicle(name: &str, index: usize) -> Tenant {
+    VehicleProfile::catalog()
+        .iter()
+        .find(|p| p.name == name)
+        .expect("catalog profile")
+        .vehicle(index)
+}
+
+/// The fleet artifact — seeded sampling, Study fan-out, first-fit
+/// packing, preemption DES — serializes byte-identically at 1 and 8
+/// workers (the dynamic half of the determinism contract).
+#[test]
+fn fleet_artifact_is_bit_identical_at_any_worker_count() {
+    let render = || serde_json::to_string(&npu_experiments::fleet::run()).expect("serializes");
+    let serial = npu_par::with_jobs(1, render);
+    let wide = npu_par::with_jobs(8, render);
+    assert_eq!(serial, wide);
+}
+
+/// Admission control re-sorts candidates into canonical (priority,
+/// name) order, so any permutation of the same candidate list yields
+/// the same colocation, the same reports and the same typed rejections.
+#[test]
+fn admission_is_invariant_under_candidate_permutation() {
+    let model = FittedMaestro::new();
+    let vehicles: Vec<Tenant> = VehicleProfile::catalog()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.vehicle(i))
+        .collect();
+    let mut reversed = vehicles.clone();
+    reversed.reverse();
+    let mut swapped = vehicles.clone();
+    swapped.swap(0, 3);
+    swapped.swap(1, 5);
+
+    let admit = |candidates: &[Tenant]| {
+        CoScheduler::new(os256_package(6, 6), &model)
+            .with_verify_frames(16)
+            .admit(candidates)
+    };
+    let baseline = admit(&vehicles);
+    assert_eq!(baseline, admit(&reversed));
+    assert_eq!(baseline, admit(&swapped));
+    assert_eq!(
+        baseline.admitted() + baseline.rejected.len(),
+        vehicles.len()
+    );
+}
+
+/// Every offered vehicle is either admitted onto an instance or
+/// rejected with a typed reason, and every admitted vehicle's DES
+/// window balances `offered == served + dropped` — across a geometry
+/// that rejects part of the fleet.
+#[test]
+fn packing_accounts_for_every_vehicle_and_frame() {
+    let model = FittedMaestro::new();
+    let fleet = FleetSpec::sample(20, 2025);
+    let out = pack_fleet(&fleet.vehicles, &os256_package(5, 5), &model, 16);
+    assert_eq!(out.admitted() + out.rejected.len(), 20);
+    assert!(!out.rejected.is_empty(), "the 5x5 rejects shuttle vehicles");
+    for inst in &out.instances {
+        for t in &inst.tenants {
+            assert_eq!(t.offered, t.served + t.dropped, "{}", t.name);
+            assert_eq!(t.offered, 16, "{}", t.name);
+        }
+    }
+}
+
+/// Frame accounting balances exactly through a preemption event: per
+/// tenant, the frames offered across both epochs equal frames served
+/// plus frames dropped in the spin-up window, and migrations are never
+/// free.
+#[test]
+fn preemption_conserves_frames_and_charges_migrations() {
+    let model = FittedMaestro::new();
+    let incumbents = vec![catalog_vehicle("mining", 1), catalog_vehicle("mining", 2)];
+    let arriving = catalog_vehicle("av-cruise", 0);
+    let mut sched = CoScheduler::new(os256_package(8, 6), &model);
+    let event = preemption_event(
+        &mut sched,
+        &incumbents,
+        &arriving,
+        6.0,
+        32,
+        &ReconfigModel::default(),
+    )
+    .expect("partition exists");
+    assert!(event.balanced());
+    for t in &event.tenants {
+        assert_eq!(t.offered(), t.served() + t.dropped(), "{}", t.name);
+        let expected = if t.name == event.arriving { 32 } else { 64 };
+        assert_eq!(t.offered(), expected, "{}", t.name);
+        if t.columns_before != t.columns_after {
+            assert!(t.transition.as_secs() > 0.0, "{} migrated for free", t.name);
+        }
+    }
+}
