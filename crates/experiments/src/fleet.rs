@@ -462,13 +462,15 @@ impl fmt::Display for FleetDse {
                 "class",
                 "cols",
                 "reprog",
-                "spin-up[ms]",
+                "stall",
+                "stallwin[ms]",
                 "p99 before",
                 "p99 after",
                 "bound",
                 "SLO",
                 "served",
                 "dropped",
+                "flushed",
             ],
         );
         for t in &self.preemption.tenants {
@@ -477,19 +479,23 @@ impl fmt::Display for FleetDse {
                 t.priority.clone(),
                 format!("{}->{}", t.columns_before, t.columns_after),
                 t.reprogrammed.to_string(),
-                format!("{:.2}", t.transition_ms),
+                t.stalled.to_string(),
+                format!("{:.2}", t.stall_window_ms),
                 opt_ms(t.p99_before_ms),
                 format!("{:.2}", t.p99_after_ms),
                 format!("{:.2}", t.p99_bound_ms),
                 if t.slo_holds { "ok" } else { "miss" }.to_string(),
                 t.served.to_string(),
                 t.dropped.to_string(),
+                t.flushed.to_string(),
             ]);
         }
         p.note(
             "the arriving safety stack takes its region from the best-effort \
-             victim; migrating tenants pay the rematch spin-up and drop the \
-             frames arriving during it",
+             victim; migrating tenants stall only their re-programmed busy \
+             chiplets, drop the frames arriving inside that window, and — \
+             when the whole region quiesces — flush the frames in flight at \
+             the event",
         );
         p.fmt(f)
     }
@@ -602,7 +608,9 @@ mod tests {
         let dropped: usize = dse.preemption.tenants.iter().map(|t| t.dropped).sum();
         assert!(dropped > 0, "spin-up windows drop frames");
         for t in &dse.preemption.tenants {
-            assert_eq!(t.offered, t.served + t.dropped, "{}", t.name);
+            assert_eq!(t.offered, t.served + t.dropped + t.flushed, "{}", t.name);
+            assert!(t.stalled <= t.reprogrammed, "{}", t.name);
+            assert!(t.stall_window_ms <= t.transition_ms, "{}", t.name);
         }
     }
 

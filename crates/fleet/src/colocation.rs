@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use npu_maestro::CostModel;
 use npu_mcm::{ChipletId, McmPackage};
 use npu_noc::Mesh2d;
-use npu_pipesim::{simulate_tenants, PhaseReport, SimConfig, TenantStream};
+use npu_pipesim::{simulate_tenants, PhaseReport, Readiness, SimConfig, TenantStream};
 use npu_sched::{MatcherConfig, Schedule, ThroughputMatcher};
 use npu_tensor::{Dtype, Seconds};
 
@@ -71,16 +71,17 @@ impl Region {
 /// the remaining columns one at a time to the tenant with the highest
 /// per-column demand (D'Hondt divisor method, strict `>` so ties keep
 /// the first index — deterministic). Returns `None` when there are more
-/// tenants than columns.
+/// tenants than columns, or when any weight is non-finite or
+/// non-positive (a NaN weight would otherwise poison every divisor
+/// comparison and silently starve the remaining tenants).
 pub fn apportion_columns(weights: &[f64], total_cols: u32) -> Option<Vec<u32>> {
     let k = weights.len();
     if k == 0 || k as u32 > total_cols {
         return None;
     }
-    debug_assert!(
-        weights.iter().all(|w| w.is_finite() && *w > 0.0),
-        "demand weights must be positive"
-    );
+    if !weights.iter().all(|w| w.is_finite() && *w > 0.0) {
+        return None;
+    }
     let mut cols = vec![1u32; k];
     for _ in 0..total_cols - k as u32 {
         let mut best = 0;
@@ -270,8 +271,9 @@ impl<'m> CoScheduler<'m> {
             .map(|(p, times)| TenantStream {
                 schedule: &p.schedule,
                 times,
-                ready_at: 0.0,
-                warmup: SimConfig::default_warmup(self.verify_frames),
+                readiness: Readiness::Barrier(0.0),
+                warmup: Some(SimConfig::default_warmup(self.verify_frames)),
+                cutoff: None,
             })
             .collect();
         simulate_tenants(&streams, &self.pkg, self.model, Dtype::Fp16)
@@ -418,6 +420,20 @@ mod tests {
         // Ties break to the first index.
         let cols = apportion_columns(&[1.0, 1.0, 1.0], 5).unwrap();
         assert_eq!(cols, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn degenerate_weights_are_rejected_in_release_builds_too() {
+        // A NaN weight poisons every `>` divisor comparison and a zero
+        // or negative weight starves its tenant: all must fail closed,
+        // not just under `debug_assert!`.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            assert!(
+                apportion_columns(&[1.0, bad, 2.0], 8).is_none(),
+                "weight {bad} must be rejected"
+            );
+        }
+        assert!(apportion_columns(&[f64::NAN], 4).is_none());
     }
 
     #[test]

@@ -6,18 +6,24 @@
 //! arrival instant the co-scheduler re-partitions with the arriving
 //! tenant included — its boosted demand weight shrinks best-effort
 //! regions first — and each tenant is charged the
-//! [`npu_sched::rematch_cost`] of migrating its region from the old
-//! mapping to the new one: until `t_arrive + transition latency` the
-//! tenant's region is reprogramming and arriving frames are dropped.
-//! Epoch 2 then runs the new colocation, arriving tenant included, on
-//! the same calendar. Frame accounting balances exactly: per tenant,
-//! `offered = served(epoch 1) + served(epoch 2) + dropped(epoch 2)`.
+//! [`npu_sched::rematch_cost_against`] of migrating its region from the
+//! old mapping to the new one, **make-before-break**: chiplets a tenant
+//! keeps serve straight across the event, chiplets that were idle
+//! package-wide prestage over the epoch-1 tail, and only chiplets
+//! re-programmed in place (or handed over from a co-tenant) stall. A
+//! tenant whose whole region quiesces (a full-barrier migration) also
+//! flushes its epoch-1 in-flight frames at the event. Epoch 2 then runs
+//! the new colocation, arriving tenant included, on the same calendar.
+//! Frame accounting balances exactly: per tenant,
+//! `offered = served + dropped + flushed` across both epochs.
+
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
 use npu_maestro::ReconfigModel;
-use npu_pipesim::{simulate_tenants, PhaseReport, SimConfig, TenantStream};
-use npu_sched::{rematch_cost, Schedule};
+use npu_pipesim::{simulate_tenants, PhaseReport, Readiness, TenantStream};
+use npu_sched::{occupied_chiplets, rematch_cost_against, RematchOutcome, Schedule};
 use npu_tensor::{Dtype, Seconds};
 
 use crate::colocation::{CoScheduler, Colocation};
@@ -39,9 +45,18 @@ pub struct TenantPhases {
     pub before: Option<PhaseReport>,
     /// Chiplets reprogrammed when migrating to the new partition.
     pub reprogrammed: usize,
-    /// The migration's spin-up latency; the tenant's region drops
-    /// arriving frames for this long after the event.
+    /// Re-programmed chiplets that stall across the event (busy — the
+    /// tenant's own or a co-tenant's — until the break). The remainder
+    /// prestage on package-idle silicon over the epoch-1 tail.
+    pub stalled: usize,
+    /// The migration's spin-up latency under the old package-wide
+    /// barrier model: the pessimistic reference the make-before-break
+    /// handover is measured against.
     pub transition: Seconds,
+    /// How long after the event the last stalled chiplet comes back
+    /// online (`transition` for a full-barrier migration; zero when
+    /// everything kept or prestaged).
+    pub stall_window: Seconds,
     /// Epoch-2 report, on the re-partitioned region.
     pub after: PhaseReport,
 }
@@ -61,6 +76,12 @@ impl TenantPhases {
     /// starts on a ready region).
     pub fn dropped(&self) -> usize {
         self.before.as_ref().map_or(0, |r| r.dropped) + self.after.dropped
+    }
+
+    /// Frames flushed in flight at the event boundary (only a
+    /// full-barrier migration quiesces the region under them).
+    pub fn flushed(&self) -> usize {
+        self.before.as_ref().map_or(0, |r| r.flushed) + self.after.flushed
     }
 
     /// p99 frame latency before the event (`None` for the arriver).
@@ -94,12 +115,12 @@ impl PreemptionReport {
         self.tenants.iter().find(|t| t.name == name)
     }
 
-    /// Whether every tenant balances `offered == served + dropped`
-    /// across the event.
+    /// Whether every tenant balances
+    /// `offered == served + dropped + flushed` across the event.
     pub fn balanced(&self) -> bool {
         self.tenants
             .iter()
-            .all(|t| t.offered() == t.served() + t.dropped())
+            .all(|t| t.offered() == t.served() + t.dropped() + t.flushed())
     }
 }
 
@@ -117,8 +138,14 @@ pub struct TenantPhasesSummary {
     pub columns_after: u32,
     /// Chiplets reprogrammed at the event.
     pub reprogrammed: usize,
-    /// Migration spin-up latency (ms).
+    /// Re-programmed chiplets that stall across the event (the rest
+    /// prestage on package-idle silicon).
+    pub stalled: usize,
+    /// Migration spin-up latency under the barrier model (ms).
     pub transition_ms: f64,
+    /// When the last stalled chiplet comes back online, relative to the
+    /// event (ms).
+    pub stall_window_ms: f64,
     /// p99 before the event (ms; absent for the arriver).
     pub p99_before_ms: Option<f64>,
     /// p99 after the event (ms).
@@ -133,6 +160,8 @@ pub struct TenantPhasesSummary {
     pub served: usize,
     /// Frames dropped in the spin-up window.
     pub dropped: usize,
+    /// Frames flushed in flight at the event boundary.
+    pub flushed: usize,
 }
 
 impl TenantPhasesSummary {
@@ -144,7 +173,9 @@ impl TenantPhasesSummary {
             columns_before: phases.columns_before,
             columns_after: phases.columns_after,
             reprogrammed: phases.reprogrammed,
+            stalled: phases.stalled,
             transition_ms: phases.transition.as_millis(),
+            stall_window_ms: phases.stall_window.as_millis(),
             p99_before_ms: phases.p99_before().map(|s| s.as_millis()),
             p99_after_ms: phases.p99_after().as_millis(),
             p99_bound_ms: p99_bound.as_millis(),
@@ -152,6 +183,7 @@ impl TenantPhasesSummary {
             offered: phases.offered(),
             served: phases.served(),
             dropped: phases.dropped(),
+            flushed: phases.flushed(),
         }
     }
 }
@@ -193,19 +225,6 @@ pub fn preemption_event(
         .map(|times| times.partition_point(|&t| t < at))
         .collect();
 
-    let epoch1_streams: Vec<TenantStream<'_>> = colo1
-        .placements
-        .iter()
-        .zip(all_times.iter().zip(&splits))
-        .map(|(p, (times, &split))| TenantStream {
-            schedule: &p.schedule,
-            times: times[..split].to_vec(),
-            ready_at: 0.0,
-            warmup: SimConfig::default_warmup(split),
-        })
-        .collect();
-    let epoch1 = simulate_tenants(&epoch1_streams, sched.package(), sched.model(), Dtype::Fp16);
-
     // Re-partition with the arriver included.
     let mut after_tenants = before_tenants.clone();
     after_tenants.push(arriving.clone());
@@ -213,19 +232,53 @@ pub fn preemption_event(
     let colo2 = sched.compile(&after_tenants)?;
 
     // Per-tenant migration cost: diff its old mapping (empty for the
-    // arriver) against its new one.
+    // arriver) against its new one, make-before-break. Every chiplet
+    // busy anywhere in the outgoing colocation counts as occupied, so a
+    // chiplet handed over between tenants stalls like one re-programmed
+    // in place; only package-idle silicon prestages over the epoch-1
+    // tail.
+    let occupied: BTreeSet<_> = colo1
+        .placements
+        .iter()
+        .flat_map(|p| occupied_chiplets(&p.schedule))
+        .collect();
     let empty = Schedule { stages: Vec::new() };
-    let transitions: Vec<(usize, Seconds)> = colo2
+    let transitions: Vec<RematchOutcome> = colo2
         .placements
         .iter()
         .map(|p| {
             let old = colo1
                 .placement(&p.tenant.name)
                 .map_or(&empty, |q| &q.schedule);
-            let diff = rematch_cost(old, &p.schedule, reconfig, Dtype::Fp16);
-            (diff.reprogrammed.len(), diff.latency)
+            rematch_cost_against(old, &p.schedule, &occupied, reconfig, Dtype::Fp16)
         })
         .collect();
+    let diff_of = |name: &str| {
+        colo2
+            .placements
+            .iter()
+            .position(|q| q.tenant.name == name)
+            .map(|i| &transitions[i])
+            .expect("every tenant is placed in the post-event colocation")
+    };
+
+    // Epoch 1: the incumbents run undisturbed. A tenant whose migration
+    // quiesces its whole region (full-barrier diff) flushes its
+    // in-flight frames at the event; anyone else drains them across the
+    // handover.
+    let epoch1_streams: Vec<TenantStream<'_>> = colo1
+        .placements
+        .iter()
+        .zip(all_times.iter().zip(&splits))
+        .map(|(p, (times, &split))| TenantStream {
+            schedule: &p.schedule,
+            times: times[..split].to_vec(),
+            readiness: Readiness::Barrier(0.0),
+            warmup: None,
+            cutoff: diff_of(&p.tenant.name).is_full_barrier().then_some(at),
+        })
+        .collect();
+    let epoch1 = simulate_tenants(&epoch1_streams, sched.package(), sched.model(), Dtype::Fp16);
 
     let epoch2_times: Vec<Vec<f64>> = colo2
         .placements
@@ -252,11 +305,12 @@ pub fn preemption_event(
         .placements
         .iter()
         .zip(epoch2_times.iter().zip(&transitions))
-        .map(|(p, (times, &(_, latency)))| TenantStream {
+        .map(|(p, (times, diff))| TenantStream {
             schedule: &p.schedule,
             times: times.clone(),
-            ready_at: at + latency.as_secs(),
-            warmup: SimConfig::default_warmup(times.len()),
+            readiness: Readiness::make_before_break(diff, at),
+            warmup: None,
+            cutoff: None,
         })
         .collect();
     let epoch2 = simulate_tenants(&epoch2_streams, sched.package(), sched.model(), Dtype::Fp16);
@@ -265,7 +319,7 @@ pub fn preemption_event(
         .placements
         .iter()
         .zip(epoch2.iter().zip(&transitions))
-        .map(|(p, (after, &(reprogrammed, latency)))| {
+        .map(|(p, (after, diff))| {
             let before_idx = colo1
                 .placements
                 .iter()
@@ -276,8 +330,10 @@ pub fn preemption_event(
                 columns_before: before_idx.map_or(0, |i| colo1.placements[i].region.width()),
                 columns_after: p.region.width(),
                 before: before_idx.map(|i| epoch1[i].clone()),
-                reprogrammed,
-                transition: latency,
+                reprogrammed: diff.reprogrammed.len(),
+                stalled: diff.stalled(),
+                transition: diff.latency,
+                stall_window: diff.stall_window(),
                 after: after.clone(),
             }
         })
@@ -344,7 +400,10 @@ mod tests {
     #[test]
     fn transitions_are_charged_and_frames_balance() {
         let report = event();
-        assert!(report.balanced(), "offered == served + dropped per tenant");
+        assert!(
+            report.balanced(),
+            "offered == served + dropped + flushed per tenant"
+        );
         for t in &report.tenants {
             if t.columns_before != t.columns_after {
                 assert!(
@@ -354,10 +413,29 @@ mod tests {
                 );
                 assert!(t.reprogrammed > 0);
             }
+            assert!(t.stalled <= t.reprogrammed);
+            assert!(t.stall_window <= t.transition);
+            // This event repartitions a fully occupied package, so every
+            // migration is a full-barrier handover: nothing prestages and
+            // the stall window degenerates to the barrier latency.
+            assert_eq!(t.stalled, t.reprogrammed, "{}", t.name);
+            assert_eq!(
+                t.stall_window.as_secs().to_bits(),
+                t.transition.as_secs().to_bits(),
+                "{}: full handover must reproduce the barrier window",
+                t.name
+            );
         }
         // Someone drops frames in the spin-up window.
         let dropped: usize = report.tenants.iter().map(TenantPhases::dropped).sum();
         assert!(dropped > 0, "spin-up windows drop arriving frames");
+        // The incumbents' regions quiesce under them, flushing whatever
+        // was in flight at the event; the arriver has no epoch-1 frames
+        // to flush.
+        for name in ["ride-hail", "mining"] {
+            assert!(report.tenant(name).unwrap().flushed() > 0, "{name}");
+        }
+        assert_eq!(report.tenant("av-stack").unwrap().flushed(), 0);
     }
 
     #[test]

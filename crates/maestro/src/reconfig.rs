@@ -98,6 +98,53 @@ impl ReconfigModel {
         let reload = weight_bytes.as_f64() / self.reload_bytes_per_sec;
         Seconds::new(control + reload)
     }
+
+    /// Staged per-chiplet readiness of a make-before-break transition.
+    ///
+    /// `reload_bytes[k]` is the weight footprint streamed into the k-th
+    /// chiplet of the control-plane walk (callers pass chiplets in walk
+    /// order). The controller visits chiplets serially and the west-edge
+    /// DRAM ports serialize all reloads, so the k-th chiplet comes back
+    /// online once the supervisor barrier, k+1 control-plane handshakes
+    /// and the first k+1 reloads have all completed:
+    ///
+    /// ```text
+    /// r_k = base + per_chiplet * (k+1) + sum(reload_bytes[..=k]) / bw
+    /// ```
+    ///
+    /// The returned offsets are relative to the switch instant and
+    /// strictly increasing. The schedule is exact against
+    /// [`transition_latency`](Self::transition_latency): the last entry is
+    /// bit-identical to the scalar barrier latency of the same reload set,
+    /// which anchors the full-barrier degeneration of the phased engine.
+    ///
+    /// ```
+    /// use npu_maestro::ReconfigModel;
+    /// use npu_tensor::Bytes;
+    ///
+    /// let m = ReconfigModel::default();
+    /// let reloads = [Bytes::from_mib(4), Bytes::from_mib(16), Bytes::from_mib(1)];
+    /// let staged = m.readiness_schedule(&reloads);
+    /// let total: Bytes = Bytes::new(reloads.iter().map(|b| b.as_u64()).sum());
+    /// assert_eq!(staged.len(), 3);
+    /// assert_eq!(staged[2], m.transition_latency(3, total));
+    /// assert!(staged[0] < staged[1] && staged[1] < staged[2]);
+    /// ```
+    pub fn readiness_schedule(&self, reload_bytes: &[Bytes]) -> Vec<Seconds> {
+        let mut cum = Bytes::ZERO;
+        reload_bytes
+            .iter()
+            .enumerate()
+            .map(|(k, &bytes)| {
+                cum = Bytes::new(cum.as_u64() + bytes.as_u64());
+                // Same expression shape as `transition_latency` so the
+                // final stage is bit-identical to the scalar barrier.
+                let control = self.base.as_secs() + self.per_chiplet.as_secs() * (k + 1) as f64;
+                let reload = cum.as_f64() / self.reload_bytes_per_sec;
+                Seconds::new(control + reload)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use npu_maestro::CostModel;
 use npu_mcm::{ChipletId, McmPackage};
+use npu_sched::rematch::RematchOutcome;
 use npu_sched::{flatten_items, Schedule, SimItem};
 use npu_tensor::Dtype;
 
@@ -172,6 +173,8 @@ pub struct EngineStats {
     /// pool's high-water mark (= slots allocated; slots are recycled as
     /// frames complete, so this is the pool's final capacity too).
     pub peak_in_flight: usize,
+    /// Frames flushed in flight at the run's cutoff (0 without one).
+    pub flushed: usize,
 }
 
 /// [`simulate`], also returning the engine's [`EngineStats`] — the
@@ -185,25 +188,168 @@ pub fn simulate_with_stats(
 ) -> (SimReport, EngineStats) {
     let items = flatten_items(schedule, pkg, model, cfg.dtype);
     let times = cfg.arrivals.times(cfg.frames);
-    run_items(&items, &times, cfg.warmup)
+    run_items(&items, &times, cfg.warmup, None)
+}
+
+/// When an incoming mapping can accept frames: either a package-wide
+/// barrier (the legacy pessimistic model, and the exact semantics of a
+/// full-diff transition, where no serving pipeline survives the switch)
+/// or a make-before-break per-chiplet readiness schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Readiness {
+    /// No frame is admitted before this absolute instant. A phase with
+    /// no spin-up at all is `Barrier(switch instant)`.
+    Barrier(f64),
+    /// Make-before-break handover at absolute instant `at`: chiplets
+    /// that keep their program (or were prestaged over the outgoing
+    /// tail) serve from `at`; `ready` lists the absolute times the
+    /// still-reloading chiplets come back online. A frame is dropped
+    /// only when its critical path would land on a chiplet that is
+    /// still reloading when the wavefront gets there.
+    PerChiplet {
+        /// The switch instant: the earliest any frame can be admitted.
+        at: f64,
+        /// Absolute ready times of the stalled chiplets, ascending
+        /// chiplet order.
+        ready: Vec<(ChipletId, f64)>,
+    },
+}
+
+impl Readiness {
+    /// The readiness of a priced mapping transition switching at
+    /// absolute time `at` (see `npu_sched::rematch`):
+    ///
+    /// - a no-op diff is live immediately (`Barrier(at)`);
+    /// - a full-barrier diff — every incoming chiplet re-programmed out
+    ///   of a busy state — quiesces the package and reproduces the old
+    ///   scalar semantics exactly (`Barrier(at + latency)`);
+    /// - any partial diff keeps serving on its kept/prestaged chiplets
+    ///   and stalls only the re-programmed busy ones, each until its
+    ///   staged post-switch ready time.
+    pub fn make_before_break(outcome: &RematchOutcome, at: f64) -> Readiness {
+        if outcome.is_noop() {
+            Readiness::Barrier(at)
+        } else if outcome.is_full_barrier() {
+            Readiness::Barrier(at + outcome.latency.as_secs())
+        } else {
+            Readiness::PerChiplet {
+                at,
+                ready: outcome
+                    .readiness
+                    .iter()
+                    .map(|&(c, r)| (c, at + r.as_secs()))
+                    .collect(),
+            }
+        }
+    }
+
+    /// The instant the last gating resource is ready (`at` when nothing
+    /// stalls).
+    pub fn last_ready(&self) -> f64 {
+        match self {
+            Readiness::Barrier(t) => *t,
+            Readiness::PerChiplet { at, ready } => {
+                ready.iter().map(|&(_, r)| r).fold(*at, f64::max)
+            }
+        }
+    }
+
+    fn assert_finite(&self) {
+        match self {
+            Readiness::Barrier(t) => {
+                assert!(t.is_finite(), "phase readiness must be finite")
+            }
+            Readiness::PerChiplet { at, ready } => assert!(
+                at.is_finite() && ready.iter().all(|(_, r)| r.is_finite()),
+                "phase readiness must be finite"
+            ),
+        }
+    }
+}
+
+/// The effective admission instant of a schedule under a readiness
+/// model: the latest arrival time that would still route some item of a
+/// frame onto a chiplet that has not come back online.
+///
+/// `est[i]` — the earliest start of item `i` relative to its frame's
+/// arrival — is the longest path into the item over the dependency DAG
+/// (`flatten_items` indexes items topologically, so one forward pass
+/// suffices). In the DES an item can only start **later** than
+/// `arrival + est[i]` (queueing and chiplet contention add delay, never
+/// remove it), so a chiplet `c` whose earliest wavefront offset is
+/// `offset[c] = min est[i]` over its items is first touched by a frame
+/// arriving at `t` no earlier than `t + offset[c]`. Gating admission at
+/// `max(ready[c] - offset[c])` is therefore *exact*: every admitted
+/// frame provably never reaches a still-reloading chiplet, and every
+/// dropped frame's critical path would have landed on one.
+pub(crate) fn admission_gate(items: &[SimItem], readiness: &Readiness) -> f64 {
+    let (at, ready) = match readiness {
+        Readiness::Barrier(t) => return *t,
+        Readiness::PerChiplet { at, ready } => (*at, ready),
+    };
+    let mut est = vec![0.0_f64; items.len()];
+    for (i, item) in items.iter().enumerate() {
+        let mut start: f64 = 0.0;
+        for &d in &item.deps {
+            start = start.max(est[d] + items[d].duration.as_secs());
+        }
+        est[i] = start;
+    }
+    let mut offset: BTreeMap<ChipletId, f64> = BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        let o = offset.entry(item.chiplet).or_insert(f64::INFINITY);
+        *o = o.min(est[i]);
+    }
+    let mut gate = at;
+    for (c, r) in ready {
+        // A stalled chiplet hosting no work in this schedule gates
+        // nothing (defensive: rematch only stalls incoming chiplets).
+        if let Some(&o) = offset.get(c) {
+            gate = gate.max(r - o);
+        }
+    }
+    gate
 }
 
 /// One phase of a time-varying simulation: a compiled schedule serving
-/// absolute-time frame arrivals from `ready_at` onwards. Frames arriving
-/// while the mapping is still spinning up (`t < ready_at`) are **dropped**
-/// — the re-match window of an online mode switch — and counted in the
-/// phase's [`PhaseReport`] instead of entering the pipeline.
+/// absolute-time frame arrivals under a [`Readiness`] model. Frames
+/// arriving while the gating resources are still spinning up are
+/// **dropped** — the re-match window of an online mode switch — and
+/// counted in the phase's [`PhaseReport`] instead of entering the
+/// pipeline.
 #[derive(Debug, Clone)]
 pub struct SimPhase<'a> {
     /// The schedule active during this phase.
     pub schedule: &'a Schedule,
     /// Absolute arrival timestamps of the phase's frames (non-decreasing).
     pub times: Vec<f64>,
-    /// When the phase's mapping is ready to accept frames.
-    pub ready_at: f64,
+    /// When the phase's mapping accepts frames: a package-wide barrier
+    /// or a make-before-break per-chiplet schedule.
+    pub readiness: Readiness,
     /// Symmetric steady-state trim for the phase's report (see
-    /// [`SimConfig::warmup`]).
-    pub warmup: usize,
+    /// [`SimConfig::warmup`]); `None` derives the default trim from the
+    /// **served** frame count once admission drops are known.
+    pub warmup: Option<usize>,
+    /// Boundary instant at which the phase's in-flight frames are
+    /// flushed: set when the *next* transition is a full barrier (the
+    /// package quiesces, killing in-flight work). `None` lets frames
+    /// drain past the boundary — a make-before-break handover keeps the
+    /// outgoing chiplets serving until their queues empty.
+    pub cutoff: Option<f64>,
+}
+
+impl<'a> SimPhase<'a> {
+    /// A phase that drains freely at its end (no boundary flush) with
+    /// the default steady-state trim.
+    pub fn new(schedule: &'a Schedule, times: Vec<f64>, readiness: Readiness) -> SimPhase<'a> {
+        SimPhase {
+            schedule,
+            times,
+            readiness,
+            warmup: None,
+            cutoff: None,
+        }
+    }
 }
 
 /// The measured behaviour of one [`SimPhase`].
@@ -213,39 +359,59 @@ pub struct PhaseReport {
     pub report: SimReport,
     /// Frames the arrival process offered to the phase.
     pub offered: usize,
-    /// Frames dropped because they arrived before `ready_at`.
+    /// Frames dropped because they arrived before the admission gate.
     pub dropped: usize,
+    /// Frames admitted but flushed in flight at the phase's end because
+    /// the next transition quiesced the package.
+    pub flushed: usize,
+    /// The effective admission instant: the barrier time, or the
+    /// make-before-break gate `max(ready[c] - wavefront offset[c])`
+    /// clamped to the switch instant. The phase's spin-up charge is
+    /// `admitted_from - switch instant`.
+    pub admitted_from: f64,
 }
 
 impl PhaseReport {
-    /// Frames that entered the pipeline (`offered - dropped`).
+    /// Frames that entered the pipeline and completed
+    /// (`offered - dropped - flushed`).
     pub fn served(&self) -> usize {
         debug_assert!(
-            self.dropped <= self.offered,
-            "dropped ({}) exceeds offered ({})",
+            self.dropped + self.flushed <= self.offered,
+            "dropped ({}) + flushed ({}) exceeds offered ({})",
             self.dropped,
+            self.flushed,
             self.offered
         );
-        self.offered.saturating_sub(self.dropped)
+        self.offered
+            .saturating_sub(self.dropped)
+            .saturating_sub(self.flushed)
     }
 }
 
 /// Runs a time-varying simulation: phases share one wall clock, and each
 /// phase's schedule serves its own arrivals. This is the engine hook an
 /// online mode switch compiles to — the schedule (and thus the compiled
-/// `PerceptionConfig`) is swapped at every phase boundary, and frames
-/// arriving before the incoming mapping's `ready_at` are dropped rather
-/// than served.
+/// `PerceptionConfig`) is swapped at every phase boundary under the
+/// phase's [`Readiness`] model.
 ///
-/// Phases hand over **cleanly** at boundaries: the outgoing mapping
-/// drains its in-flight frames independently, and the incoming mapping
-/// starts on freshly re-programmed chiplets with empty queues. Queue
-/// carry-over across the switch (a make-before-break handover where the
-/// old mapping's backlog contends with the new one) is deliberately not
-/// modeled — re-programming a chiplet flushes it. Per-phase busy
-/// fractions are therefore relative to each phase's own span.
+/// Under a [`Readiness::Barrier`] the old semantics apply exactly: every
+/// frame arriving before the barrier instant is dropped. Under
+/// [`Readiness::PerChiplet`] the handover is make-before-break — chiplets
+/// that keep their program keep serving across the boundary (their
+/// in-flight frames survive), only re-programmed chiplets stall, and a
+/// frame is dropped only when its critical path would land on a chiplet
+/// that is still reloading when the wavefront reaches it (the
+/// arrival-time gate is exact because DES contention only ever delays
+/// item starts past their dependency-chain earliest times).
 ///
-/// A single phase with `ready_at` at or before its first arrival is
+/// In-flight frames cross boundaries according to the *next* phase's
+/// handover: a make-before-break switch lets the outgoing queues drain
+/// (`cutoff = None`), a full-barrier switch quiesces the package and
+/// flushes them (`cutoff = Some(boundary)`), counted per phase so
+/// `offered == served + dropped + flushed` always balances. Per-phase
+/// busy fractions are relative to each phase's own span.
+///
+/// A single phase with readiness at or before its first arrival is
 /// exactly [`simulate`] — same event order, bit-identical statistics —
 /// which the cross-validation suite pins.
 ///
@@ -273,19 +439,27 @@ pub fn simulate_phases(
                     && phase.times.iter().all(|t| t.is_finite()),
                 "phase arrivals must be finite and non-decreasing"
             );
-            assert!(phase.ready_at.is_finite(), "phase ready_at must be finite");
+            phase.readiness.assert_finite();
             let items = flat_cache
                 .entry(phase.schedule as *const Schedule)
                 .or_insert_with(|| flatten_items(phase.schedule, pkg, model, dtype));
+            let gate = admission_gate(items, &phase.readiness);
             // Times are non-decreasing, so the served frames are exactly
-            // the suffix from the first arrival at or after `ready_at`.
-            let first_served = phase.times.partition_point(|&t| t < phase.ready_at);
+            // the suffix from the first arrival at or after the gate.
+            let first_served = phase.times.partition_point(|&t| t < gate);
             let served = &phase.times[first_served..];
-            let (report, _) = run_items(items, served, phase.warmup);
+            // Post-drop trim (the offered count would misalign the
+            // steady-state window after a heavy-drop transition).
+            let warmup = phase
+                .warmup
+                .unwrap_or_else(|| SimConfig::default_warmup(served.len()));
+            let (report, stats) = run_items(items, served, warmup, phase.cutoff);
             PhaseReport {
                 report,
                 offered: phase.times.len(),
                 dropped: first_served,
+                flushed: stats.flushed,
+                admitted_from: gate,
             }
         })
         .collect()
@@ -368,7 +542,12 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(items: &'a [SimItem], times: &'a [f64], warmup: usize) -> Engine<'a> {
+    fn new(
+        items: &'a [SimItem],
+        times: &'a [f64],
+        warmup: usize,
+        cutoff: Option<f64>,
+    ) -> Engine<'a> {
         let n_items = items.len();
         let mut chiplet_ids: Vec<ChipletId> = items.iter().map(|it| it.chiplet).collect();
         chiplet_ids.sort_unstable();
@@ -421,7 +600,7 @@ impl<'a> Engine<'a> {
             peak_in_flight: 0,
             commit: VecDeque::new(),
             commit_next: 0,
-            report: ReportBuilder::new(times.len(), warmup),
+            report: ReportBuilder::new(times.len(), warmup, cutoff),
             chiplet_ids,
         }
     }
@@ -455,6 +634,7 @@ impl<'a> Engine<'a> {
         let stats = EngineStats {
             frames: self.times.len(),
             peak_in_flight: self.peak_in_flight,
+            flushed: self.report.flushed(),
         };
         (self.report.finish(&busy), stats)
     }
@@ -602,10 +782,17 @@ impl<'a> Engine<'a> {
 
 /// The discrete-event core: drives one frame per entry of `times`
 /// (absolute arrival timestamps) through the flattened items, streaming
-/// statistics as frames commit. See [`Engine`] for the memory bound.
-fn run_items(items: &[SimItem], times: &[f64], warmup: usize) -> (SimReport, EngineStats) {
+/// statistics as frames commit. Frames completing past `cutoff` are
+/// counted flushed instead of measured. See [`Engine`] for the memory
+/// bound.
+fn run_items(
+    items: &[SimItem],
+    times: &[f64],
+    warmup: usize,
+    cutoff: Option<f64>,
+) -> (SimReport, EngineStats) {
     assert!(!items.is_empty(), "cannot simulate an empty schedule");
-    Engine::new(items, times, warmup).run()
+    Engine::new(items, times, warmup, cutoff).run()
 }
 
 #[cfg(test)]
@@ -872,8 +1059,9 @@ mod tests {
         let phase_at = |offset: f64| SimPhase {
             schedule: &schedule,
             times: times.iter().map(|t| t + offset).collect(),
-            ready_at: offset,
-            warmup: 1,
+            readiness: Readiness::Barrier(offset),
+            warmup: Some(1),
+            cutoff: None,
         };
         let base = &simulate_phases(&[phase_at(0.0)], &pkg, &model, Dtype::Fp16)[0];
         let late = &simulate_phases(&[phase_at(100.0)], &pkg, &model, Dtype::Fp16)[0];
@@ -906,8 +1094,9 @@ mod tests {
         let phase = SimPhase {
             schedule: &schedule,
             times: vec![0.0, 0.1, 0.2],
-            ready_at: 1.0,
-            warmup: 1,
+            readiness: Readiness::Barrier(1.0),
+            warmup: Some(1),
+            cutoff: None,
         };
         let rep = &simulate_phases(&[phase], &pkg, &model, Dtype::Fp16)[0];
         assert_eq!(rep.offered, 3);
@@ -916,6 +1105,140 @@ mod tests {
         assert_eq!(rep.report.measured_frames, 0);
         assert!(rep.report.steady_interval.is_zero());
         assert_eq!(rep.report.busy_fraction(ChipletId(0)), Some(0.0));
+    }
+
+    /// The admission gate charges each stalled chiplet's ready time
+    /// minus its earliest wavefront offset, clamped to the switch
+    /// instant, and ignores stalled chiplets hosting no work.
+    #[test]
+    fn admission_gate_uses_the_wavefront_offset() {
+        use npu_sched::SimItem;
+        // c0 feeds c1: a frame reaches c1 only 0.3 s after arrival.
+        let items = vec![
+            SimItem {
+                name: "s/m/a#0".into(),
+                chiplet: ChipletId(0),
+                duration: Seconds::new(0.3),
+                deps: vec![],
+            },
+            SimItem {
+                name: "s/m/b#0".into(),
+                chiplet: ChipletId(1),
+                duration: Seconds::new(0.1),
+                deps: vec![0],
+            },
+        ];
+        let gate = |ready: Vec<(ChipletId, f64)>| {
+            admission_gate(&items, &Readiness::PerChiplet { at: 5.0, ready })
+        };
+        // Barrier passes through untouched.
+        assert_eq!(admission_gate(&items, &Readiness::Barrier(7.5)), 7.5);
+        // The downstream chiplet's reload hides behind the wavefront:
+        // a frame admitted at 5.0 cannot touch c1 before 5.3.
+        assert_eq!(gate(vec![(ChipletId(1), 5.2)]), 5.0);
+        // Only the excess over the offset gates admission.
+        assert!((gate(vec![(ChipletId(1), 5.4)]) - 5.1).abs() < 1e-12);
+        // An entry chiplet has no offset to hide behind: full charge.
+        assert_eq!(gate(vec![(ChipletId(0), 5.4)]), 5.4);
+        // A stalled chiplet hosting no items gates nothing.
+        assert_eq!(gate(vec![(ChipletId(9), 99.0)]), 5.0);
+        // The gate is the max over all stalled chiplets.
+        assert_eq!(gate(vec![(ChipletId(0), 5.4), (ChipletId(1), 5.2)]), 5.4);
+    }
+
+    /// A make-before-break handover that stalls only a downstream
+    /// chiplet admits frames the package-wide barrier would drop; one
+    /// that stalls the entry chiplet degenerates to the barrier.
+    #[test]
+    fn make_before_break_admits_earlier_than_the_barrier() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        // Trunk on c0 (~360 ms of wavefront offset), output compression
+        // on c1.
+        let mut mp = ModelPlan::on_single_chiplet("s", g.clone(), ChipletId(0));
+        let out = g.find("s_fuse.compress").unwrap();
+        *mp.layer_plan_mut(out) = LayerPlan::single(g.layer(out).clone(), ChipletId(1));
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![mp],
+                region: vec![ChipletId(0), ChipletId(1)],
+            }],
+        };
+        let times: Vec<f64> = (0..8).map(|f| f as f64 * 0.025).collect();
+        let run = |readiness: Readiness| {
+            let phase = SimPhase {
+                schedule: &schedule,
+                times: times.clone(),
+                readiness,
+                warmup: Some(0),
+                cutoff: None,
+            };
+            simulate_phases(&[phase], &pkg, &model, Dtype::Fp16)[0].clone()
+        };
+        let barrier = run(Readiness::Barrier(0.1));
+        assert_eq!(barrier.dropped, 4, "frames before 0.1 s die at the barrier");
+        // The same 0.1 s reload on the downstream chiplet hides entirely
+        // behind the trunk's wavefront offset: nothing is dropped.
+        let mbb = run(Readiness::PerChiplet {
+            at: 0.0,
+            ready: vec![(ChipletId(1), 0.1)],
+        });
+        assert_eq!(mbb.dropped, 0);
+        assert_eq!(mbb.admitted_from, 0.0);
+        assert!(mbb.served() > barrier.served());
+        // Stalling the entry chiplet leaves no offset to hide behind —
+        // bit-identical to the barrier.
+        let entry = run(Readiness::PerChiplet {
+            at: 0.0,
+            ready: vec![(ChipletId(0), 0.1)],
+        });
+        assert_eq!(entry.dropped, barrier.dropped);
+        assert_eq!(entry.report, barrier.report);
+    }
+
+    /// A boundary cutoff flushes frames still in flight at the instant
+    /// the package quiesces, and the accounting balances:
+    /// `offered == served + dropped + flushed`.
+    #[test]
+    fn boundary_cutoff_flushes_in_flight_frames() {
+        let g = fusion_block(&FusionConfig::spatial_default());
+        let pkg = McmPackage::simba_6x6();
+        let model = FittedMaestro::new();
+        let schedule = Schedule {
+            stages: vec![StagePlan {
+                kind: StageKind::SpatialFusion,
+                models: vec![ModelPlan::on_single_chiplet("s", g, ChipletId(0))],
+                region: vec![ChipletId(0)],
+            }],
+        };
+        // Four frames offered at t = 0 against a ~366 ms service time:
+        // completions land near 0.37/0.73/1.10/1.46 s.
+        let run = |cutoff: Option<f64>| {
+            let phase = SimPhase {
+                schedule: &schedule,
+                times: vec![0.0; 4],
+                readiness: Readiness::Barrier(0.0),
+                warmup: Some(0),
+                cutoff,
+            };
+            simulate_phases(&[phase], &pkg, &model, Dtype::Fp16)[0].clone()
+        };
+        let drain = run(None);
+        assert_eq!((drain.dropped, drain.flushed, drain.served()), (0, 0, 4));
+        let flushed = run(Some(0.8));
+        assert_eq!(flushed.offered, 4);
+        assert_eq!(flushed.dropped, 0);
+        assert_eq!(flushed.flushed, 2, "two frames were in flight at 0.8 s");
+        assert_eq!(
+            flushed.offered,
+            flushed.served() + flushed.dropped + flushed.flushed
+        );
+        // Flushed frames leave the steady-state window: the surviving
+        // statistics cover only frames that completed before the cutoff.
+        assert_eq!(flushed.report.measured_frames, 2);
+        assert!(flushed.report.max_latency < drain.report.max_latency);
     }
 
     /// The in-flight frame pool stays bounded by the schedule's natural

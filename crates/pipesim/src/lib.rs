@@ -59,7 +59,8 @@ pub mod trace;
 
 pub use arrivals::{ArrivalSegment, Arrivals};
 pub use engine::{
-    simulate, simulate_phases, simulate_with_stats, EngineStats, PhaseReport, SimConfig, SimPhase,
+    simulate, simulate_phases, simulate_with_stats, EngineStats, PhaseReport, Readiness, SimConfig,
+    SimPhase,
 };
 pub use multi::{simulate_tenants, TenantStream};
 pub use quantiles::Quantiles;

@@ -38,13 +38,14 @@ use npu_mcm::{ChipletId, McmPackage};
 use npu_sched::{flatten_items, Schedule, SimItem};
 use npu_tensor::Dtype;
 
-use crate::engine::PhaseReport;
+use crate::engine::{admission_gate, PhaseReport, Readiness, SimConfig};
 use crate::report::ReportBuilder;
 
 /// One tenant's share of a co-simulation: a compiled schedule serving
-/// absolute-time frame arrivals from `ready_at` onwards. Frames arriving
-/// while the tenant's region is still spinning up (`t < ready_at`) are
-/// dropped and counted, exactly like a [`crate::SimPhase`] boundary.
+/// absolute-time frame arrivals under the tenant's [`Readiness`] model.
+/// Frames arriving while the tenant's gating chiplets are still spinning
+/// up are dropped and counted, exactly like a [`crate::SimPhase`]
+/// boundary.
 #[derive(Debug, Clone)]
 pub struct TenantStream<'a> {
     /// The tenant's compiled schedule (its chiplet region is implied by
@@ -53,11 +54,19 @@ pub struct TenantStream<'a> {
     /// Absolute arrival timestamps of the tenant's frames
     /// (non-decreasing).
     pub times: Vec<f64>,
-    /// When the tenant's region is ready to accept frames.
-    pub ready_at: f64,
+    /// When the tenant's region accepts frames: a barrier, or a
+    /// make-before-break per-chiplet readiness schedule (a tenant whose
+    /// region is re-programmed in place keeps serving on its unchanged
+    /// chiplets).
+    pub readiness: Readiness,
     /// Symmetric steady-state trim for the tenant's report (see
-    /// [`crate::SimConfig::warmup`]).
-    pub warmup: usize,
+    /// [`crate::SimConfig::warmup`]); `None` derives the default trim
+    /// from the served frame count once admission drops are known.
+    pub warmup: Option<usize>,
+    /// Boundary instant at which the tenant's in-flight frames are
+    /// flushed (its region is quiesced by a full-barrier handover);
+    /// `None` lets frames drain freely.
+    pub cutoff: Option<f64>,
 }
 
 /// Job priority: earliest global frame first, then item (topological)
@@ -178,9 +187,13 @@ pub fn simulate_tenants(
         .collect();
 
     // Per-tenant spin-up drops: times are non-decreasing, so the served
-    // frames are exactly the suffix arriving at or after `ready_at`.
+    // frames are exactly the suffix arriving at or after the tenant's
+    // admission gate (see `crate::engine::admission_gate` — the
+    // wavefront bound holds a fortiori under cross-tenant contention,
+    // which only delays starts further).
     let mut offered = Vec::with_capacity(streams.len());
     let mut dropped = Vec::with_capacity(streams.len());
+    let mut gates = Vec::with_capacity(streams.len());
     let mut served: Vec<Vec<f64>> = Vec::with_capacity(streams.len());
     for (s, items) in streams.iter().zip(&class_items) {
         assert!(!items.is_empty(), "cannot co-simulate an empty schedule");
@@ -188,10 +201,12 @@ pub fn simulate_tenants(
             s.times.windows(2).all(|w| w[0] <= w[1]) && s.times.iter().all(|t| t.is_finite()),
             "tenant arrivals must be finite and non-decreasing"
         );
-        assert!(s.ready_at.is_finite(), "tenant ready_at must be finite");
-        let first_served = s.times.partition_point(|&t| t < s.ready_at);
+        let gate = admission_gate(items, &s.readiness);
+        assert!(gate.is_finite(), "tenant readiness must be finite");
+        let first_served = s.times.partition_point(|&t| t < gate);
         offered.push(s.times.len());
         dropped.push(first_served);
+        gates.push(gate);
         served.push(s.times[first_served..].to_vec());
     }
 
@@ -199,13 +214,16 @@ pub fn simulate_tenants(
     let reports = engine.run();
     reports
         .into_iter()
-        .zip(offered)
-        .zip(dropped)
-        .map(|((report, offered), dropped)| PhaseReport {
-            report,
-            offered,
-            dropped,
-        })
+        .zip(offered.into_iter().zip(dropped).zip(gates))
+        .map(
+            |((report, flushed), ((offered, dropped), gate))| PhaseReport {
+                report,
+                offered,
+                dropped,
+                flushed,
+                admitted_from: gate,
+            },
+        )
         .collect()
 }
 
@@ -358,7 +376,14 @@ impl MultiEngine {
         let builders = served
             .iter()
             .zip(streams)
-            .map(|(ts, s)| ReportBuilder::new(ts.len(), s.warmup))
+            .map(|(ts, s)| {
+                // Post-drop trim: `None` derives the default from the
+                // frames that actually entered the pipeline.
+                let warmup = s
+                    .warmup
+                    .unwrap_or_else(|| SimConfig::default_warmup(ts.len()));
+                ReportBuilder::new(ts.len(), warmup, s.cutoff)
+            })
             .collect();
         MultiEngine {
             offsets,
@@ -392,7 +417,9 @@ impl MultiEngine {
         }
     }
 
-    fn run(mut self) -> Vec<crate::report::SimReport> {
+    /// Runs the co-simulation, returning each tenant's report and its
+    /// boundary-flushed frame count.
+    fn run(mut self) -> Vec<(crate::report::SimReport, usize)> {
         loop {
             // Interleave the merged arrival cursor with the completion
             // calendar in time order; `<=` lets arrivals win ties,
@@ -436,7 +463,8 @@ impl MultiEngine {
                     (c, self.busy_time[d])
                 })
                 .collect();
-            reports.push(builder.finish(&busy));
+            let flushed = builder.flushed();
+            reports.push((builder.finish(&busy), flushed));
         }
         reports
     }
@@ -644,14 +672,16 @@ mod tests {
                 TenantStream {
                     schedule: &s0,
                     times: t0.clone(),
-                    ready_at: 0.0,
-                    warmup: 2,
+                    readiness: Readiness::Barrier(0.0),
+                    warmup: Some(2),
+                    cutoff: None,
                 },
                 TenantStream {
                     schedule: &s1,
                     times: t1.clone(),
-                    ready_at: 0.0,
-                    warmup: 2,
+                    readiness: Readiness::Barrier(0.0),
+                    warmup: Some(2),
+                    cutoff: None,
                 },
             ],
             &pkg,
@@ -662,8 +692,9 @@ mod tests {
             &[SimPhase {
                 schedule: &s0,
                 times: t0,
-                ready_at: 0.0,
-                warmup: 2,
+                readiness: Readiness::Barrier(0.0),
+                warmup: Some(2),
+                cutoff: None,
             }],
             &pkg,
             &model,
@@ -673,8 +704,9 @@ mod tests {
             &[SimPhase {
                 schedule: &s1,
                 times: t1,
-                ready_at: 0.0,
-                warmup: 2,
+                readiness: Readiness::Barrier(0.0),
+                warmup: Some(2),
+                cutoff: None,
             }],
             &pkg,
             &model,
@@ -701,14 +733,16 @@ mod tests {
                 TenantStream {
                     schedule: &s,
                     times: t0.clone(),
-                    ready_at: 0.0,
-                    warmup: 2,
+                    readiness: Readiness::Barrier(0.0),
+                    warmup: Some(2),
+                    cutoff: None,
                 },
                 TenantStream {
                     schedule: &s,
                     times: t1,
-                    ready_at: 0.0,
-                    warmup: 2,
+                    readiness: Readiness::Barrier(0.0),
+                    warmup: Some(2),
+                    cutoff: None,
                 },
             ],
             &pkg,
@@ -719,8 +753,9 @@ mod tests {
             &[SimPhase {
                 schedule: &s,
                 times: t0,
-                ready_at: 0.0,
-                warmup: 2,
+                readiness: Readiness::Barrier(0.0),
+                warmup: Some(2),
+                cutoff: None,
             }],
             &pkg,
             &model,
@@ -753,14 +788,16 @@ mod tests {
                 TenantStream {
                     schedule: &s0,
                     times: periodic(10, 0.5, 0.0),
-                    ready_at: 0.0,
-                    warmup: 1,
+                    readiness: Readiness::Barrier(0.0),
+                    warmup: Some(1),
+                    cutoff: None,
                 },
                 TenantStream {
                     schedule: &s1,
                     times: periodic(10, 0.5, 0.0),
-                    ready_at: 1.1,
-                    warmup: 1,
+                    readiness: Readiness::Barrier(1.1),
+                    warmup: Some(1),
+                    cutoff: None,
                 },
             ],
             &pkg,
@@ -788,14 +825,16 @@ mod tests {
                     TenantStream {
                         schedule: &s,
                         times: periodic(12, 0.4, 0.0),
-                        ready_at: 0.0,
-                        warmup: 2,
+                        readiness: Readiness::Barrier(0.0),
+                        warmup: Some(2),
+                        cutoff: None,
                     },
                     TenantStream {
                         schedule: &s2,
                         times: periodic(12, 0.4, 0.0),
-                        ready_at: 0.0,
-                        warmup: 2,
+                        readiness: Readiness::Barrier(0.0),
+                        warmup: Some(2),
+                        cutoff: None,
                     },
                 ],
                 &pkg,
@@ -818,8 +857,9 @@ mod tests {
             &[TenantStream {
                 schedule: &s,
                 times: times.clone(),
-                ready_at: 0.3,
-                warmup: 3,
+                readiness: Readiness::Barrier(0.3),
+                warmup: Some(3),
+                cutoff: None,
             }],
             &pkg,
             &model,
@@ -829,8 +869,9 @@ mod tests {
             &[SimPhase {
                 schedule: &s,
                 times,
-                ready_at: 0.3,
-                warmup: 3,
+                readiness: Readiness::Barrier(0.3),
+                warmup: Some(3),
+                cutoff: None,
             }],
             &pkg,
             &model,

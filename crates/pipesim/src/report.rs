@@ -89,7 +89,7 @@ impl SimReport {
         busy_time: &BTreeMap<ChipletId, f64>,
         warmup: usize,
     ) -> SimReport {
-        let mut b = ReportBuilder::new(completions.len(), warmup);
+        let mut b = ReportBuilder::new(completions.len(), warmup, None);
         for (frame, (&a, &c)) in arrivals.iter().zip(completions).enumerate() {
             b.record(frame, a, c);
         }
@@ -119,6 +119,14 @@ impl SimReport {
 /// inside additionally stream into the latency sum/max and the
 /// [`Quantiles`] sketch in the same order the materialized path used,
 /// keeping every statistic bit-identical.
+///
+/// A phase handing over through a **full-barrier** transition passes a
+/// `cutoff`: frames whose completion lands past it were still in flight
+/// when the incoming mapping quiesced the package. They never complete —
+/// the builder counts them as *flushed* and keeps them out of every
+/// latency/interval statistic (and out of the span, which ends at the
+/// cutoff). With `cutoff = None` every statistic is bit-identical to the
+/// pre-flush-accounting builder.
 pub(crate) struct ReportBuilder {
     /// Total frames the run will record.
     n: usize,
@@ -128,6 +136,13 @@ pub(crate) struct ReportBuilder {
     hi: usize,
     /// Frames recorded so far (records must arrive in frame order).
     recorded: usize,
+    /// Boundary instant past which in-flight frames are flushed.
+    cutoff: Option<f64>,
+    /// Frames flushed at the boundary (completion past `cutoff`).
+    flushed: usize,
+    /// Windowed frames that actually fed the statistics (flushed frames
+    /// inside `[lo, hi)` are excluded).
+    win_count: usize,
     /// Arrival time of frame 0: the start of the observed span.
     first_arrival: f64,
     /// Running max over **all** completions: the end of the span.
@@ -138,18 +153,21 @@ pub(crate) struct ReportBuilder {
     max_latency: f64,
     /// Streaming percentile sketch over the window.
     sketch: Quantiles,
-    /// Completion of frame `lo` (window interval numerator start).
+    /// Completion of the first counted windowed frame (window interval
+    /// numerator start).
     win_first: f64,
-    /// Completion of the latest windowed frame (ends at frame `hi-1`).
+    /// Completion of the latest counted windowed frame.
     win_last: f64,
-    /// Latency of frame `lo`: the one-frame-window interval fallback.
+    /// Latency of the first counted windowed frame: the one-frame-window
+    /// interval fallback.
     fallback_latency: f64,
 }
 
 impl ReportBuilder {
     /// A builder for an `n`-frame run with a symmetric `warmup` trim
-    /// (clamped so the window keeps at least one frame).
-    pub(crate) fn new(n: usize, warmup: usize) -> ReportBuilder {
+    /// (clamped so the window keeps at least one frame). Frames whose
+    /// completion lands past `cutoff` are flushed, not measured.
+    pub(crate) fn new(n: usize, warmup: usize, cutoff: Option<f64>) -> ReportBuilder {
         // Symmetric trim: `warmup` frames of pipeline fill at the head
         // AND `warmup` frames of drain at the tail (cool-down frames
         // finish faster than steady state once upstream pressure stops,
@@ -161,6 +179,9 @@ impl ReportBuilder {
             lo: trim,
             hi: n - trim,
             recorded: 0,
+            cutoff,
+            flushed: 0,
+            win_count: 0,
             first_arrival: 0.0,
             max_completion: 0.0,
             sum_latency: 0.0,
@@ -172,6 +193,11 @@ impl ReportBuilder {
         }
     }
 
+    /// Frames flushed so far at the phase boundary.
+    pub(crate) fn flushed(&self) -> usize {
+        self.flushed
+    }
+
     /// Streams one frame's (arrival, completion) pair. Frames must be
     /// recorded in frame order — the engine's commit ring guarantees it
     /// even though frames *complete* out of order.
@@ -180,19 +206,31 @@ impl ReportBuilder {
         if frame == 0 {
             self.first_arrival = arrival;
         }
+        self.recorded += 1;
+        if let Some(cutoff) = self.cutoff {
+            if completion > cutoff {
+                // Still in flight when the incoming mapping quiesced the
+                // package: the frame never completes. It holds the span
+                // open only to the cutoff instant and feeds no latency
+                // or interval statistic.
+                self.flushed += 1;
+                self.max_completion = f64::max(self.max_completion, cutoff);
+                return;
+            }
+        }
         self.max_completion = f64::max(self.max_completion, completion);
         if frame >= self.lo && frame < self.hi {
             let latency = completion - arrival;
-            if frame == self.lo {
+            if self.win_count == 0 {
                 self.win_first = completion;
                 self.fallback_latency = latency;
             }
+            self.win_count += 1;
             self.win_last = completion;
             self.sum_latency += latency;
             self.max_latency = f64::max(self.max_latency, latency);
             self.sketch.insert(latency);
         }
-        self.recorded += 1;
     }
 
     /// Finalizes the report. `busy_time` maps each chiplet to its total
@@ -214,12 +252,16 @@ impl ReportBuilder {
             };
         }
         debug_assert_eq!(self.recorded, self.n, "every frame must be recorded");
-        let window_len = self.hi - self.lo;
+        // Flushed frames inside [lo, hi) shrink the measured window; with
+        // no cutoff, win_count == hi - lo and everything below is
+        // bit-identical to the fixed-window math.
+        let window_len = self.win_count;
 
         let steady_interval = if window_len >= 2 {
             Seconds::new((self.win_last - self.win_first) / (window_len - 1) as f64)
         } else {
-            // One-frame window: fall back to that frame's service time.
+            // One-frame window: fall back to that frame's service time
+            // (zero when the boundary flushed the whole window).
             Seconds::new(self.fallback_latency)
         };
 
@@ -271,6 +313,40 @@ mod tests {
         assert!((r.mean_latency.as_secs() - 2.5).abs() < 1e-12);
         assert!((r.max_latency.as_secs() - 3.0).abs() < 1e-12);
         assert_eq!(r.bottleneck().unwrap().0, ChipletId(0));
+    }
+
+    #[test]
+    fn boundary_flush_excludes_frames_from_every_statistic() {
+        let arrivals = [0.0, 0.0, 0.0, 0.0];
+        let completions = [1.0, 2.0, 3.0, 4.0];
+        let busy = BTreeMap::new();
+        // Cutoff at 2.5: frames 2 and 3 were in flight at the boundary.
+        let mut b = ReportBuilder::new(4, 0, Some(2.5));
+        for (i, (&a, &c)) in arrivals.iter().zip(&completions).enumerate() {
+            b.record(i, a, c);
+        }
+        assert_eq!(b.flushed(), 2);
+        let r = b.finish(&busy);
+        // Only the two completed frames feed the window.
+        assert_eq!(r.measured_frames, 2);
+        assert!((r.steady_interval.as_secs() - 1.0).abs() < 1e-12);
+        assert!(
+            (r.max_latency.as_secs() - 2.0).abs() < 1e-12,
+            "3.0/4.0 flushed"
+        );
+        assert!((r.mean_latency.as_secs() - 1.5).abs() < 1e-12);
+
+        // With no cutoff the builder is bit-identical to the from_run
+        // path (the pre-flush-accounting behaviour).
+        let mut b = ReportBuilder::new(4, 0, None);
+        for (i, (&a, &c)) in arrivals.iter().zip(&completions).enumerate() {
+            b.record(i, a, c);
+        }
+        assert_eq!(b.flushed(), 0);
+        assert_eq!(
+            b.finish(&busy),
+            SimReport::from_run(&arrivals, &completions, &busy, 0)
+        );
     }
 
     #[test]

@@ -16,19 +16,26 @@
 //!   whose program changes and the mapping spin-up latency they cost.
 //!
 //! The phased DES ([`npu_pipesim::simulate_phases`]) then drives the
-//! timeline end to end, dropping the frames that arrive inside each
-//! spin-up window — the paper-style tail question ("how many frames does
-//! a mode switch cost?") that per-scenario steady-state means cannot
-//! answer. Boundaries are clean handovers: re-programming flushes
-//! chiplet queues, and the outgoing mapping drains its in-flight frames
-//! independently (make-before-break overlap is a ROADMAP follow-up).
+//! timeline end to end — the paper-style tail question ("how many frames
+//! does a mode switch cost?") that per-scenario steady-state means
+//! cannot answer. Boundaries are **make-before-break** handovers: the
+//! re-match diff classifies each incoming chiplet as kept (keeps
+//! serving, in-flight frames survive), prestaged (reloaded over the
+//! outgoing tail's idle west-edge port cycles, ready at the switch) or
+//! stalled (re-programmed out of a busy state, back online per the
+//! staged readiness schedule), and a frame is dropped only when its
+//! critical path lands on a still-reloading chiplet. A diff that
+//! re-programs every busy chiplet leaves no serving pipeline and
+//! degenerates to the old package-wide barrier bit for bit; dropped
+//! frames surface as a perception-staleness window on each
+//! [`SegmentReport`].
 
 use serde::{Deserialize, Serialize};
 
 use npu_maestro::{CostModel, ReconfigModel};
 use npu_mcm::McmPackage;
 use npu_pipesim::{
-    simulate_phases, ArrivalSegment, Arrivals, LatencyQuantiles, SimConfig, SimPhase,
+    simulate_phases, ArrivalSegment, Arrivals, LatencyQuantiles, Readiness, SimPhase,
 };
 use npu_sched::rematch::rematch_cost;
 use npu_sched::Schedule;
@@ -265,8 +272,18 @@ pub struct SegmentReport {
     pub offered: usize,
     /// Frames dropped while the segment's mapping was spinning up.
     pub dropped: usize,
-    /// Frames that entered the pipeline.
+    /// Frames flushed in flight at the segment's end by a full-barrier
+    /// handover (0 when the next switch is make-before-break or the
+    /// segment is last).
+    pub flushed: usize,
+    /// Frames that entered the pipeline and completed.
     pub served: usize,
+    /// Perception staleness at the segment's entry: how long after the
+    /// segment starts its first *served* frame arrives. Dropped spin-up
+    /// frames widen this blind window — perception emits nothing new
+    /// while the mapping reloads; a segment serving nothing is stale for
+    /// its whole duration.
+    pub staleness: Seconds,
     /// Analytic matched pipelining latency of the segment's schedule.
     pub pipe: Seconds,
     /// Predicted steady interval: `max(pipe, mean arrival interval)`.
@@ -291,10 +308,30 @@ pub struct TransitionReport {
     pub to: String,
     /// When the switch happens on the drive clock.
     pub at: Seconds,
-    /// Re-match latency: the incoming mapping's spin-up window.
+    /// Re-match latency under the package-wide **barrier** model: the
+    /// pessimistic reference the make-before-break handover is measured
+    /// against (and the exact spin-up window of a full-diff switch).
     pub rematch_latency: Seconds,
     /// Chiplets whose program the switch rewrites.
     pub reprogrammed: usize,
+    /// Incoming chiplets that keep their program and serve straight
+    /// across the boundary (a partial diff has `kept > 0`).
+    pub kept: usize,
+    /// Re-programmed chiplets that stall across the switch (busy in the
+    /// outgoing mapping until the break).
+    pub stalled: usize,
+    /// Re-programmed chiplets reloaded over the outgoing schedule's tail
+    /// (idle before the switch): ready the instant the mapping flips.
+    pub prestaged: usize,
+    /// How long after the switch the last stalled chiplet comes back
+    /// online (`rematch_latency` when nothing could be prestaged or
+    /// overlapped; zero for a no-op diff).
+    pub stall_window: Seconds,
+    /// Spin-up time the make-before-break handover hides relative to the
+    /// barrier model: `rematch_latency` minus the effective admission
+    /// stall (prestaging over the outgoing tail plus the pipeline
+    /// wavefront slack absorbing the stalled chiplets' reloads).
+    pub overlap_saving: Seconds,
     /// Weight bytes those chiplets reload.
     pub weight_bytes: Bytes,
     /// Frames dropped inside the spin-up window.
@@ -318,6 +355,9 @@ pub struct DriveOutcome {
     pub total_offered: usize,
     /// Frames dropped end to end (all inside spin-up windows).
     pub total_dropped: usize,
+    /// Frames flushed in flight end to end (all at full-barrier
+    /// handovers).
+    pub total_flushed: usize,
     /// Wall-clock length of the timeline.
     pub duration: Seconds,
 }
@@ -382,37 +422,43 @@ pub fn simulate_drive(
     )
     .times(frame_counts.iter().sum());
 
-    // Price each boundary and lay out the phases.
+    // Price each boundary and lay out the phases: per-chiplet
+    // make-before-break readiness at every switch (degenerating to the
+    // old barrier for full diffs), and a boundary cutoff on the
+    // *outgoing* phase only when the next switch quiesces the package —
+    // a make-before-break handover lets in-flight frames drain.
     let mut transitions = Vec::new();
-    let mut phases = Vec::new();
+    let mut phases: Vec<SimPhase<'_>> = Vec::new();
     let mut offset = 0.0;
     let mut cursor = 0;
     for (i, seg) in drive.segments.iter().enumerate() {
         let times = all_times[cursor..cursor + frame_counts[i]].to_vec();
         cursor += frame_counts[i];
-        let ready_at = if i == 0 {
+        let readiness = if i == 0 {
             // The first mapping is loaded before the drive starts.
-            offset
+            Readiness::Barrier(offset)
         } else {
             let cost = rematch_cost(schedules[i - 1], schedules[i], reconfig, dtype);
-            let ready = offset + cost.latency.as_secs();
+            if cost.is_full_barrier() {
+                phases[i - 1].cutoff = Some(offset);
+            }
             transitions.push(TransitionReport {
                 from: drive.segments[i - 1].scenario.name.clone(),
                 to: seg.scenario.name.clone(),
                 at: Seconds::new(offset),
                 rematch_latency: cost.latency,
                 reprogrammed: cost.reprogrammed.len(),
+                kept: cost.kept.len(),
+                stalled: cost.stalled(),
+                prestaged: cost.prestaged.len(),
+                stall_window: cost.stall_window(),
+                overlap_saving: Seconds::ZERO, // filled from the phase report below
                 weight_bytes: cost.weight_bytes,
                 dropped: 0, // filled from the phase report below
             });
-            ready
+            Readiness::make_before_break(&cost, offset)
         };
-        phases.push(SimPhase {
-            schedule: schedules[i],
-            times,
-            ready_at,
-            warmup: SimConfig::default_warmup(frame_counts[i]),
-        });
+        phases.push(SimPhase::new(schedules[i], times, readiness));
         offset += seg.duration.as_secs();
     }
 
@@ -422,16 +468,30 @@ pub fn simulate_drive(
     let mut start = 0.0;
     for (i, (seg, phase)) in drive.segments.iter().zip(&reports).enumerate() {
         if i > 0 {
-            transitions[i - 1].dropped = phase.dropped;
+            let t = &mut transitions[i - 1];
+            t.dropped = phase.dropped;
+            // What the barrier model would have charged as admission
+            // stall, minus what the handover actually stalled.
+            let stall = (phase.admitted_from - t.at.as_secs()).max(0.0);
+            t.overlap_saving = Seconds::new((t.rematch_latency.as_secs() - stall).max(0.0));
         }
         let pipe = outcomes[i].report.pipe;
+        // First served arrival, on the segment clock: dropped frames are
+        // exactly the prefix arriving before the admission gate.
+        let staleness = phases[i]
+            .times
+            .get(phase.dropped)
+            .map(|&t| Seconds::new(t - start))
+            .unwrap_or(seg.duration);
         segments.push(SegmentReport {
             scenario: seg.scenario.name.clone(),
             start: Seconds::new(start),
             duration: seg.duration,
             offered: phase.offered,
             dropped: phase.dropped,
+            flushed: phase.flushed,
             served: phase.served(),
+            staleness,
             pipe,
             predicted_interval: seg.scenario.predicted_interval(pipe),
             des_interval: phase.report.steady_interval,
@@ -448,6 +508,7 @@ pub fn simulate_drive(
         chiplets: pkg.len() as u64,
         total_offered: segments.iter().map(|s| s.offered).sum(),
         total_dropped: segments.iter().map(|s| s.dropped).sum(),
+        total_flushed: segments.iter().map(|s| s.flushed).sum(),
         duration: drive.total_duration(),
         segments,
         transitions,
@@ -537,7 +598,7 @@ mod tests {
     }
 
     #[test]
-    fn mode_switches_drop_frames_and_charge_latency() {
+    fn mode_switches_charge_latency_without_quiescing() {
         let drive = Drive::cruise_urban_degraded();
         let pkg = McmPackage::simba_6x6();
         let model = FittedMaestro::new();
@@ -552,16 +613,89 @@ mod tests {
                 t.to
             );
             assert!(t.rematch_latency > Seconds::ZERO);
+            // Both headline switches are partial diffs: some chiplets keep
+            // their program, so the handover never quiesces the package.
+            assert!(t.stalled > 0 && t.stalled <= t.reprogrammed);
+            assert!(t.stall_window > Seconds::ZERO);
+            assert!(t.stall_window <= t.rematch_latency);
+            // The wavefront offset of the stalled chiplets dwarfs the
+            // spin-up window, so make-before-break drops nothing here.
+            assert_eq!(t.dropped, 0, "{} -> {}", t.from, t.to);
+            assert!(t.overlap_saving > Seconds::ZERO);
         }
-        // Dropped frames are exactly the transition drops.
+        // Dropped frames are exactly the transition drops, and no
+        // handover on this drive quiesces the package (nothing flushed).
         let transition_drops: usize = out.transitions.iter().map(|t| t.dropped).sum();
         assert_eq!(out.total_dropped, transition_drops);
+        assert_eq!(out.total_flushed, 0);
         assert_eq!(
             out.total_offered,
             out.segments.iter().map(|s| s.offered).sum::<usize>()
         );
         assert!(out.drop_rate() < 0.5, "switching must not eat the drive");
         assert!(out.worst_transition().is_some());
+        // Segment staleness: the opening segment serves from its first
+        // frame; later segments recover within their own duration.
+        for (i, s) in out.segments.iter().enumerate() {
+            assert!(s.staleness >= Seconds::ZERO);
+            assert!(s.staleness <= s.duration);
+            assert_eq!(
+                s.offered,
+                s.served + s.dropped + s.flushed,
+                "segment {i} frame accounting must balance"
+            );
+        }
+    }
+
+    #[test]
+    fn make_before_break_drops_strictly_fewer_than_the_barrier() {
+        // Under the old full-barrier model every frame arriving inside
+        // [at, at + rematch_latency) was dropped. Make-before-break must
+        // beat that on every partial-diff transition that the barrier
+        // would have charged.
+        let model = FittedMaestro::new();
+        let mut strict = 0;
+        for pkg in [McmPackage::simba_6x6(), McmPackage::dual_npu_12x6()] {
+            for drive in Drive::builtin() {
+                let out = simulate_drive(&drive, &pkg, &model, &ReconfigModel::default());
+                let all_times = Arrivals::piecewise(
+                    drive
+                        .segments
+                        .iter()
+                        .map(|seg| ArrivalSegment {
+                            arrivals: seg.scenario.arrivals(),
+                            frames: seg.frames(),
+                            span: seg.duration,
+                        })
+                        .collect(),
+                )
+                .times(out.total_offered);
+                let mut cursor = out.segments[0].offered;
+                for (t, seg) in out.transitions.iter().zip(&out.segments[1..]) {
+                    let times = &all_times[cursor..cursor + seg.offered];
+                    let barrier_end = t.at.as_secs() + t.rematch_latency.as_secs();
+                    let barrier_drops = times.partition_point(|&x| x < barrier_end);
+                    if t.reprogrammed > 0 && t.kept > 0 && barrier_drops > 0 {
+                        assert!(
+                            t.dropped < barrier_drops,
+                            "{}/{} -> {}: {} under make-before-break vs {} barrier",
+                            drive.name,
+                            t.from,
+                            t.to,
+                            t.dropped,
+                            barrier_drops
+                        );
+                        strict += 1;
+                    }
+                    assert!(t.dropped <= barrier_drops, "never worse than the barrier");
+                    cursor += seg.offered;
+                }
+            }
+        }
+        assert!(
+            strict >= 4,
+            "the builtin drives must exercise partial diffs"
+        );
     }
 
     #[test]

@@ -8,11 +8,22 @@
 //! between two schedules at chiplet granularity — which chiplets keep
 //! their program, which must be re-programmed, how many weight bytes the
 //! re-programmed ones reload — and prices the transition with
-//! [`ReconfigModel`]. The resulting latency
-//! is the mapping spin-up window `npu-pipesim`'s phased engine charges,
-//! during which arriving frames are dropped.
+//! [`ReconfigModel`].
+//!
+//! The outcome carries two prices for the same diff. `latency` is the
+//! legacy package-wide barrier (everything waits for the slowest
+//! reload), kept as the pessimistic reference. `readiness` is the
+//! make-before-break schedule: chiplets that keep their program
+//! ([`RematchOutcome::kept`]) never stop serving, re-programmed chiplets
+//! that were idle in the outgoing mapping ([`RematchOutcome::prestaged`])
+//! are loaded over the idle west-edge port cycles of the outgoing
+//! schedule's tail and are ready at the switch instant, and only the
+//! re-programmed chiplets that were busy until the break
+//! (`readiness`) pay a staged post-switch spin-up. `npu-pipesim`'s
+//! phased engine turns that schedule into a per-chiplet admission gate
+//! instead of a package-wide drop window.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -30,9 +41,26 @@ pub struct RematchOutcome {
     /// Chiplets that fall idle in the new mapping simply power down and
     /// cost nothing.
     pub reprogrammed: Vec<ChipletId>,
+    /// Incoming chiplets whose program is unchanged: they keep serving
+    /// across the boundary and their in-flight frames survive.
+    pub kept: Vec<ChipletId>,
+    /// Re-programmed chiplets that sat idle in the outgoing package
+    /// state: their control walk and weight reload overlap the outgoing
+    /// schedule's tail (the west-edge ports are idle between frames), so
+    /// they are ready the instant the mapping switches.
+    pub prestaged: Vec<ChipletId>,
+    /// Staged post-switch readiness of the re-programmed chiplets that
+    /// served the outgoing mapping until the break (ascending chiplet
+    /// order — the control-plane walk order). Offsets are relative to
+    /// the switch instant; the last entry of a diff with no prestaged
+    /// chiplets is bit-identical to the scalar `latency`.
+    pub readiness: Vec<(ChipletId, Seconds)>,
     /// Weight bytes the re-programmed chiplets reload in total.
     pub weight_bytes: Bytes,
-    /// The transition's spin-up latency under the reconfiguration model.
+    /// The transition's spin-up latency under the package-wide barrier
+    /// model: every chiplet waits for the full control walk and reload.
+    /// Kept as the pessimistic reference the make-before-break schedule
+    /// is measured against.
     pub latency: Seconds,
 }
 
@@ -40,6 +68,30 @@ impl RematchOutcome {
     /// Whether the transition changes nothing (identical mappings).
     pub fn is_noop(&self) -> bool {
         self.reprogrammed.is_empty()
+    }
+
+    /// Whether the diff leaves no serving pipeline across the boundary:
+    /// every incoming chiplet is re-programmed out of a busy state, so
+    /// the package quiesces and the old single-`ready_at` barrier
+    /// semantics apply exactly.
+    pub fn is_full_barrier(&self) -> bool {
+        !self.reprogrammed.is_empty() && self.kept.is_empty() && self.prestaged.is_empty()
+    }
+
+    /// Number of chiplets that stall across the switch (re-programmed
+    /// while busy in the outgoing mapping).
+    pub fn stalled(&self) -> usize {
+        self.readiness.len()
+    }
+
+    /// The post-switch spin-up window: how long after the switch the
+    /// last stalled chiplet comes back online. Zero when nothing stalls;
+    /// equal to `latency` when nothing could be prestaged.
+    pub fn stall_window(&self) -> Seconds {
+        self.readiness
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(Seconds::ZERO, |a, b| if b > a { b } else { a })
     }
 }
 
@@ -84,28 +136,80 @@ pub fn rematch_cost(
     model: &ReconfigModel,
     dtype: Dtype,
 ) -> RematchOutcome {
+    rematch_cost_against(old, new, &BTreeSet::new(), model, dtype)
+}
+
+/// [`rematch_cost`] with extra outgoing-side occupancy.
+///
+/// `also_occupied` lists chiplets that are busy in the outgoing package
+/// state beyond `old`'s own footprint — co-tenants' regions in a
+/// multi-tenant colocation, for example. A re-programmed chiplet only
+/// prestages over the outgoing tail if nothing at all runs on it before
+/// the switch; a chiplet handed over from another tenant stalls exactly
+/// like one re-programmed in place.
+pub fn rematch_cost_against(
+    old: &Schedule,
+    new: &Schedule,
+    also_occupied: &BTreeSet<ChipletId>,
+    model: &ReconfigModel,
+    dtype: Dtype,
+) -> RematchOutcome {
     let before = chiplet_programs(old);
     let after = chiplet_programs(new);
 
     let mut reprogrammed = Vec::new();
+    let mut kept = Vec::new();
+    let mut prestaged = Vec::new();
+    let mut stalled_reloads: Vec<(ChipletId, Bytes)> = Vec::new();
     let mut weight_bytes = Bytes::ZERO;
     for (chiplet, program) in &after {
         if before.get(chiplet) == Some(program) {
+            kept.push(*chiplet);
             continue;
         }
         reprogrammed.push(*chiplet);
-        weight_bytes += program
+        let bytes = program
             .iter()
             .map(|(_, layer)| layer.weight_bytes(dtype))
             .sum::<Bytes>();
+        weight_bytes += bytes;
+        if before.contains_key(chiplet) || also_occupied.contains(chiplet) {
+            stalled_reloads.push((*chiplet, bytes));
+        } else {
+            prestaged.push(*chiplet);
+        }
     }
+
+    let staged = model.readiness_schedule(
+        &stalled_reloads
+            .iter()
+            .map(|&(_, bytes)| bytes)
+            .collect::<Vec<_>>(),
+    );
+    let readiness = stalled_reloads
+        .iter()
+        .map(|&(chiplet, _)| chiplet)
+        .zip(staged)
+        .collect();
 
     let latency = model.transition_latency(reprogrammed.len(), weight_bytes);
     RematchOutcome {
         reprogrammed,
+        kept,
+        prestaged,
+        readiness,
         weight_bytes,
         latency,
     }
+}
+
+/// The set of chiplets a schedule occupies (hosts at least one shard).
+///
+/// Feed the union over a colocation's placements to
+/// [`rematch_cost_against`] so a chiplet handed over between tenants is
+/// priced as a stalling reload, not a free prestage.
+pub fn occupied_chiplets(s: &Schedule) -> BTreeSet<ChipletId> {
+    chiplet_programs(s).keys().copied().collect()
 }
 
 /// The program a schedule loads onto each chiplet: its shards as a
@@ -228,6 +332,9 @@ mod tests {
         let latency = model.transition_latency(reprogrammed.len(), weight_bytes);
         RematchOutcome {
             reprogrammed,
+            kept: Vec::new(),
+            prestaged: Vec::new(),
+            readiness: Vec::new(),
             weight_bytes,
             latency,
         }
@@ -308,5 +415,74 @@ mod tests {
         assert_eq!(x, y);
         // BTreeMap iteration: chiplets come back sorted.
         assert!(x.reprogrammed.windows(2).all(|w| w[0] < w[1]));
+        assert!(x.kept.windows(2).all(|w| w[0] < w[1]));
+        assert!(x.readiness.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn classification_partitions_the_incoming_chiplets() {
+        let cruise = matched(8, 3);
+        let urban = matched(8, 4);
+        let out = rematch_cost(&cruise, &urban, &ReconfigModel::default(), Dtype::Fp16);
+        // kept ∪ reprogrammed = incoming chiplet set, disjoint.
+        let incoming = chiplet_programs(&urban).len();
+        assert_eq!(out.kept.len() + out.reprogrammed.len(), incoming);
+        assert!(out.kept.iter().all(|c| !out.reprogrammed.contains(c)));
+        // prestaged ∪ stalled = reprogrammed, disjoint.
+        let stalled: Vec<ChipletId> = out.readiness.iter().map(|&(c, _)| c).collect();
+        assert_eq!(out.prestaged.len() + stalled.len(), out.reprogrammed.len());
+        assert!(out
+            .reprogrammed
+            .iter()
+            .all(|c| out.prestaged.contains(c) ^ stalled.contains(c)));
+        // Readiness offsets are strictly increasing along the control
+        // walk and never exceed the barrier latency.
+        assert!(out.readiness.windows(2).all(|w| w[0].1 < w[1].1));
+        assert!(out.stall_window() <= out.latency);
+    }
+
+    #[test]
+    fn full_reprogram_readiness_is_bit_identical_to_the_barrier() {
+        // Diff against an empty-but-occupying outgoing state: every
+        // incoming chiplet is re-programmed while busy, so the diff
+        // degenerates to the old package-wide barrier and the staged
+        // schedule's last stage lands on the scalar latency exactly.
+        let urban = matched(8, 4);
+        let cruise = matched(8, 3);
+        let occupied: BTreeSet<ChipletId> = chiplet_programs(&urban).keys().copied().collect();
+        let empty = Schedule { stages: Vec::new() };
+        let out = rematch_cost_against(
+            &empty,
+            &urban,
+            &occupied,
+            &ReconfigModel::default(),
+            Dtype::Fp16,
+        );
+        assert!(out.is_full_barrier());
+        assert!(out.kept.is_empty() && out.prestaged.is_empty());
+        assert_eq!(out.stalled(), out.reprogrammed.len());
+        assert_eq!(
+            out.stall_window().as_secs().to_bits(),
+            out.latency.as_secs().to_bits()
+        );
+        // A partial diff is not a full barrier.
+        let partial = rematch_cost(&cruise, &urban, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(!partial.is_full_barrier());
+        assert!(!partial.kept.is_empty());
+    }
+
+    #[test]
+    fn idle_chiplets_prestage_over_the_outgoing_tail() {
+        // With no outgoing occupancy at all, a newly enlisted chiplet is
+        // programmed during the old schedule's tail: ready at the switch.
+        let urban = matched(8, 4);
+        let empty = Schedule { stages: Vec::new() };
+        let out = rematch_cost(&empty, &urban, &ReconfigModel::default(), Dtype::Fp16);
+        assert!(!out.is_noop());
+        assert_eq!(out.prestaged.len(), out.reprogrammed.len());
+        assert!(out.readiness.is_empty());
+        assert!(out.stall_window().is_zero());
+        // The pessimistic barrier reference still prices the full reload.
+        assert!(out.latency > Seconds::ZERO);
     }
 }

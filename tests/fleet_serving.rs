@@ -79,8 +79,8 @@ fn packing_accounts_for_every_vehicle_and_frame() {
 
 /// Frame accounting balances exactly through a preemption event: per
 /// tenant, the frames offered across both epochs equal frames served
-/// plus frames dropped in the spin-up window, and migrations are never
-/// free.
+/// plus frames dropped in the spin-up window plus in-flight frames
+/// flushed at a full-barrier handover, and migrations are never free.
 #[test]
 fn preemption_conserves_frames_and_charges_migrations() {
     let model = FittedMaestro::new();
@@ -98,7 +98,12 @@ fn preemption_conserves_frames_and_charges_migrations() {
     .expect("partition exists");
     assert!(event.balanced());
     for t in &event.tenants {
-        assert_eq!(t.offered(), t.served() + t.dropped(), "{}", t.name);
+        assert_eq!(
+            t.offered(),
+            t.served() + t.dropped() + t.flushed(),
+            "{}",
+            t.name
+        );
         let expected = if t.name == event.arriving { 32 } else { 64 };
         assert_eq!(t.offered(), expected, "{}", t.name);
         if t.columns_before != t.columns_after {

@@ -2,9 +2,9 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
-//! header), range strategies over integers and floats,
-//! [`sample::select`], [`collection::vec`], and the `prop_assert*`
-//! macros. Cases are sampled from a deterministic seeded generator;
+//! header), range strategies over integers and floats, tuples of
+//! strategies (up to 4), [`sample::select`], [`collection::vec`], and
+//! the `prop_assert*` macros. Cases are sampled from a deterministic seeded generator;
 //! unlike real proptest there is **no shrinking** — a failing case
 //! panics with the sampled inputs left to the assertion message.
 
@@ -61,6 +61,25 @@ pub mod strategy {
     }
 
     impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A / 0, B / 1)(A / 0, B / 1, C / 2)(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3
+    ));
 }
 
 pub mod sample {
